@@ -1,0 +1,72 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches: CLI defaults matching
+// the paper's experimental setup (§5: sizes 5..105, 30 random graphs per
+// size, mean values) and table/CSV emission helpers.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/trial.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rechord::bench {
+
+/// The paper's network sizes for Figures 5-7.
+inline const std::vector<std::int64_t> kPaperSizes{5, 15, 25, 35, 45, 65, 85, 105};
+
+struct BenchConfig {
+  std::vector<std::size_t> sizes;
+  std::size_t trials = 30;
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+  std::string csv_path;  // empty = no CSV
+
+  static BenchConfig from_cli(const util::Cli& cli) {
+    BenchConfig cfg;
+    for (auto v : cli.get_int_list("sizes", kPaperSizes))
+      cfg.sizes.push_back(static_cast<std::size_t>(v));
+    cfg.trials = static_cast<std::size_t>(cli.get_int("trials", 30));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    cfg.threads = static_cast<unsigned>(cli.get_int("threads", 1));
+    cfg.csv_path = cli.get("csv", "");
+    return cfg;
+  }
+
+  [[nodiscard]] sim::TrialConfig base_trial() const {
+    sim::TrialConfig t;
+    t.seed = seed;
+    t.threads = threads;
+    return t;
+  }
+};
+
+inline void emit_csv(const std::string& path,
+                     const std::vector<std::string>& header,
+                     const std::vector<std::vector<double>>& rows) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  util::CsvWriter w(out);
+  w.header(header);
+  for (const auto& row : rows) {
+    w.row();
+    for (double v : row) w.cell(v);
+  }
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace rechord::bench

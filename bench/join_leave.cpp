@@ -1,0 +1,125 @@
+// Theorems 4.1 / 4.2 -- churn recovery: a join into a stable network
+// re-stabilizes in O(log^2 n) rounds; a (graceful) leave or a crash failure
+// in O(log n) rounds. We measure rounds back to the exact fixpoint for each
+// operation and report them against log2(n) and log2(n)^2.
+
+#include "common.hpp"
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "gen/topologies.hpp"
+
+namespace {
+
+using namespace rechord;
+
+core::Engine stable_engine(std::size_t n, std::uint64_t seed,
+                           unsigned threads) {
+  util::Rng rng(seed);
+  core::Engine engine(
+      gen::make_network(gen::Topology::kRandomConnected, n, rng),
+      {.threads = threads});
+  const auto spec = core::StableSpec::compute(engine.network());
+  core::RunOptions opt;
+  opt.max_rounds = 1'000'000;
+  (void)core::run_to_stable(engine, spec, opt);
+  return engine;
+}
+
+struct Resettle {
+  std::uint64_t integration;  // rounds until all desired edges exist again
+  std::uint64_t exact;        // rounds until the exact fixpoint
+};
+
+// Theorems 4.1/4.2 bound the INTEGRATION time; leftover unnecessary edges
+// are explicitly excluded ("eliminated after at most O(n log n) rounds").
+Resettle resettle(core::Engine& engine) {
+  engine.reset_change_tracking();
+  const auto spec = core::StableSpec::compute(engine.network());
+  core::RunOptions opt;
+  opt.max_rounds = 1'000'000;
+  const auto r = core::run_to_stable(engine, spec, opt);
+  return {r.rounds_to_almost, r.rounds_to_stable};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  auto cfg = bench::BenchConfig::from_cli(cli);
+  if (!cli.has("sizes")) cfg.sizes = {8, 16, 32, 64, 128};
+  if (!cli.has("trials")) cfg.trials = 5;
+  const auto ops_per_trial =
+      static_cast<std::size_t>(cli.get_int("ops", 4));
+  bench::banner("Join/Leave/Crash recovery rounds",
+                "Kniesburges et al., SPAA'11, Theorems 4.1 and 4.2");
+
+  util::Table table({"n", "join integ", "join exact", "leave integ",
+                     "leave exact", "crash integ", "join/(log2 n)^2",
+                     "leave/log2 n"});
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t n : cfg.sizes) {
+    util::OnlineStats join_integ, join_exact, leave_integ, leave_exact,
+        crash_integ;
+    for (std::size_t t = 0; t < cfg.trials; ++t) {
+      util::Rng rng(cfg.seed + 1000 * t + n);
+      // Joins.
+      {
+        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
+        for (std::size_t k = 0; k < ops_per_trial; ++k) {
+          const auto owners = engine.network().live_owners();
+          core::join(engine.network(), rng.next(),
+                     owners[rng.below(owners.size())]);
+          const auto r = resettle(engine);
+          join_integ.add(static_cast<double>(r.integration));
+          join_exact.add(static_cast<double>(r.exact));
+        }
+      }
+      // Graceful leaves.
+      {
+        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
+        for (std::size_t k = 0; k < ops_per_trial; ++k) {
+          const auto owners = engine.network().live_owners();
+          core::leave_gracefully(engine.network(),
+                                 owners[rng.below(owners.size())]);
+          const auto r = resettle(engine);
+          leave_integ.add(static_cast<double>(r.integration));
+          leave_exact.add(static_cast<double>(r.exact));
+        }
+      }
+      // Crash failures.
+      {
+        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
+        for (std::size_t k = 0; k < ops_per_trial; ++k) {
+          const auto owners = engine.network().live_owners();
+          core::crash(engine.network(), owners[rng.below(owners.size())]);
+          const auto r = resettle(engine);
+          crash_integ.add(static_cast<double>(r.integration));
+        }
+      }
+    }
+    const double lg = std::log2(static_cast<double>(n));
+    table.add_row({std::to_string(n), util::fixed(join_integ.mean(), 2),
+                   util::fixed(join_exact.mean(), 2),
+                   util::fixed(leave_integ.mean(), 2),
+                   util::fixed(leave_exact.mean(), 2),
+                   util::fixed(crash_integ.mean(), 2),
+                   util::fixed(join_integ.mean() / (lg * lg), 3),
+                   util::fixed(leave_integ.mean() / lg, 3)});
+    csv_rows.push_back({static_cast<double>(n), join_integ.mean(),
+                        join_exact.mean(), leave_integ.mean(),
+                        leave_exact.mean(), crash_integ.mean()});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n'integ' = rounds until every desired edge of the new peer set exists\n"
+      "(the quantity Theorems 4.1/4.2 bound); 'exact' additionally waits for\n"
+      "leftover unnecessary edges to drain, which the paper bounds separately\n"
+      "by O(n log n). Expected shapes: join integ/(log2 n)^2 and leave\n"
+      "integ/log2 n stay bounded as n grows -- polylog recovery, not linear.\n");
+  bench::emit_csv(cfg.csv_path,
+                  {"n", "join_integ", "join_exact", "leave_integ",
+                   "leave_exact", "crash_integ"},
+                  csv_rows);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Adversarial recovery: drive the network into pathological weakly connected
+// states (sorted line, in-star, bridged clusters, fuzzed garbage state) and
+// watch self-stabilization repair each one -- then contrast with the classic
+// Chord maintenance protocol, which cannot recover from the same states.
+//
+//   ./adversarial_recovery [--n 24] [--seed 9]
+
+#include <cstdio>
+
+#include "chord/stabilizer.hpp"
+#include "core/convergence.hpp"
+#include "gen/topologies.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rechord;
+  const util::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 24));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+
+  std::printf("Recovery from pathological initial states, n = %zu peers\n\n",
+              n);
+  std::printf("%-14s %10s %10s %12s %16s\n", "initial state", "re-chord",
+              "rounds", "exact spec", "classic chord");
+
+  int rechord_failures = 0;
+  for (gen::Topology topo : gen::all_topologies()) {
+    util::Rng rng(seed);
+    const auto ids = gen::random_ids(rng, n);
+    const auto g = gen::make_topology(topo, n, rng);
+
+    // Re-Chord from this state.
+    core::Engine engine(gen::make_network(ids, g), {});
+    const auto spec = core::StableSpec::compute(engine.network());
+    core::RunOptions opt;
+    opt.max_rounds = 100000;
+    const auto result = core::run_to_stable(engine, spec, opt);
+    rechord_failures += !(result.stabilized && result.spec_exact);
+
+    // Classic Chord from the same state.
+    chord::ChordStabilizer classic(ids, g);
+    const auto classic_rounds = classic.run(5000);
+
+    std::printf("%-14s %10s %10llu %12s %16s\n", gen::topology_name(topo),
+                result.stabilized ? "recovered" : "STUCK",
+                static_cast<unsigned long long>(result.rounds_to_stable),
+                result.spec_exact ? "yes" : "NO",
+                classic_rounds < 5000 ? "recovered" : "never");
+  }
+
+  // A fuzzed arbitrary state (wrong markings + garbage virtual nodes).
+  {
+    util::Rng rng(seed + 1);
+    auto net = gen::make_network(gen::Topology::kRandomConnected, n, rng);
+    gen::scramble_state(net, rng);
+    core::Engine engine(std::move(net), {});
+    const auto spec = core::StableSpec::compute(engine.network());
+    core::RunOptions opt;
+    opt.max_rounds = 100000;
+    const auto result = core::run_to_stable(engine, spec, opt);
+    rechord_failures += !(result.stabilized && result.spec_exact);
+    std::printf("%-14s %10s %10llu %12s %16s\n", "scrambled",
+                result.stabilized ? "recovered" : "STUCK",
+                static_cast<unsigned long long>(result.rounds_to_stable),
+                result.spec_exact ? "yes" : "NO", "n/a");
+  }
+
+  std::printf("\nRe-Chord recovered from %s state (Theorem 1.1); the classic\n"
+              "protocol typically recovers from none of the damaged ones --\n"
+              "that gap is the paper's contribution.\n",
+              rechord_failures == 0 ? "every" : "NOT every");
+  return rechord_failures == 0 ? 0 : 1;
+}

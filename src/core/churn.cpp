@@ -1,0 +1,60 @@
+#include "core/churn.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace rechord::core {
+
+std::uint32_t join(Network& net, RingPos id, std::uint32_t contact_owner) {
+  assert(net.owner_alive(contact_owner));
+  const std::uint32_t owner = net.add_owner(id);
+  net.add_edge(slot_of(owner, 0), EdgeKind::kUnmarked,
+               slot_of(contact_owner, 0));
+  return owner;
+}
+
+namespace {
+void remove_owner(Network& net, std::uint32_t owner) {
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+    const Slot s = slot_of(owner, i);
+    net.clear_edges(s);
+    net.set_alive(s, false);
+    net.set_rl(s, kInvalidSlot);
+    net.set_rr(s, kInvalidSlot);
+  }
+  net.normalize();  // drops all dangling references to the departed peer
+}
+}  // namespace
+
+void leave_gracefully(Network& net, std::uint32_t owner) {
+  assert(net.owner_alive(owner));
+  // Collect in-neighbors (any live slot pointing at any of owner's slots)
+  // and out-neighbors (targets of owner's slots).
+  std::vector<Slot> in_nbrs, out_nbrs;
+  for (Slot s : net.live_slots()) {
+    if (owner_of(s) == owner) {
+      for (int k = 0; k < kEdgeKinds; ++k)
+        for (Slot t : net.edges(s, static_cast<EdgeKind>(k)))
+          if (net.alive(t) && owner_of(t) != owner) out_nbrs.push_back(t);
+      continue;
+    }
+    for (int k = 0; k < kEdgeKinds; ++k)
+      for (Slot t : net.edges(s, static_cast<EdgeKind>(k)))
+        if (owner_of(t) == owner) {
+          in_nbrs.push_back(s);
+          break;
+        }
+  }
+  // "Before a node is deleted it informs its neighbors about each other."
+  for (Slot x : in_nbrs)
+    for (Slot y : out_nbrs)
+      if (x != y) net.add_edge(x, EdgeKind::kUnmarked, y);
+  remove_owner(net, owner);
+}
+
+void crash(Network& net, std::uint32_t owner) {
+  assert(net.owner_alive(owner));
+  remove_owner(net, owner);
+}
+
+}  // namespace rechord::core

@@ -1,0 +1,27 @@
+#pragma once
+// Membership changes (paper §4): joining a new peer through a contact node,
+// graceful departure (the leaver introduces its neighbors to each other), and
+// crash failure (the peer and all of its links vanish).
+
+#include <cstdint>
+
+#include "core/network.hpp"
+
+namespace rechord::core {
+
+/// Joins a new peer with identifier `id`, initially connected by a single
+/// unmarked edge to the contact peer's real node (the paper's join model).
+/// Returns the new owner id. `id` must be distinct from live peers' ids and
+/// `contact_owner` must be alive.
+std::uint32_t join(Network& net, RingPos id, std::uint32_t contact_owner);
+
+/// Graceful leave: before departing, the peer introduces every in-neighbor
+/// of any of its nodes to every out-neighbor (unmarked edges), preserving
+/// ring connectivity; then it and its virtual nodes disappear.
+void leave_gracefully(Network& net, std::uint32_t owner);
+
+/// Crash failure: the peer and all of its links (in and out) disappear with
+/// no notification.
+void crash(Network& net, std::uint32_t owner);
+
+}  // namespace rechord::core

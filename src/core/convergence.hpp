@@ -1,0 +1,45 @@
+#pragma once
+// Convergence runner: drives an Engine until the exact fixpoint, recording
+// the two quantities of the paper's Figure 6 -- rounds to the stable state
+// and rounds to the "almost stable" state -- plus the per-round metric
+// series behind Figures 5 and 7.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+
+namespace rechord::core {
+
+struct RunOptions {
+  /// Hard cap on rounds (the theory bound is O(n log n); experiments finish
+  /// far earlier). Exceeding the cap reports stabilized = false.
+  std::uint64_t max_rounds = 1'000'000;
+  /// Record the full per-round metric series (Figures 5/7 need only the
+  /// final state; set true for time-series output).
+  bool track_series = false;
+};
+
+struct RunResult {
+  bool stabilized = false;
+  /// Number of rounds after which no further state change occurred, i.e. the
+  /// paper's "# rounds to stable state".
+  std::uint64_t rounds_to_stable = 0;
+  /// First round at which all desired Re-Chord edges were present ("almost
+  /// stable"); 0 if the initial state already qualified.
+  std::uint64_t rounds_to_almost = 0;
+  bool reached_almost = false;
+  /// Whether the final state matches the spec exactly (should always hold
+  /// when stabilized).
+  bool spec_exact = false;
+  RoundMetrics final_metrics;
+  std::vector<RoundMetrics> series;  // when track_series
+};
+
+/// Runs the engine until fixpoint (or the cap), measuring against `spec`.
+[[nodiscard]] RunResult run_to_stable(Engine& engine, const StableSpec& spec,
+                                      const RunOptions& options = {});
+
+}  // namespace rechord::core

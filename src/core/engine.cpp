@@ -1,0 +1,157 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace rechord::core {
+
+namespace {
+// Deterministic per-(seed, round, index) coin with probability p.
+bool fault_coin(std::uint64_t seed, std::uint64_t round, std::uint64_t index,
+                double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t h =
+      util::mix64(seed ^ util::mix64(round * 0x9E3779B97F4A7C15ULL + index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
+}  // namespace
+
+Engine::Engine(Network net, EngineOptions opt)
+    : net_(std::move(net)), opt_(opt) {
+  if (opt_.threads == 0) opt_.threads = 1;
+}
+
+void Engine::run_peers(std::vector<DelayedOp>& ops,
+                       std::vector<Slot>& rl_next,
+                       std::vector<Slot>& rr_next,
+                       std::vector<RuleActivity>& shard_activity) {
+  std::vector<std::uint32_t> owners = net_.live_owners();
+  // Activation faults: a sleeping peer keeps its state and publishes last
+  // round's rl/rr unchanged; messages addressed to it are still delivered.
+  if (opt_.sleep_probability > 0.0) {
+    std::vector<std::uint32_t> awake;
+    awake.reserve(owners.size());
+    for (std::uint32_t o : owners)
+      if (!fault_coin(opt_.fault_seed, round_, o, opt_.sleep_probability))
+        awake.push_back(o);
+    owners = std::move(awake);
+  }
+  auto run_range = [&](std::size_t begin, std::size_t end,
+                       std::vector<DelayedOp>& out, RuleActivity& act) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t owner = owners[i];
+      RuleCtx ctx(net_, owner, out);
+      Rules::run_all(ctx);
+      act += ctx.activity;
+      for (std::uint32_t idx = 0; idx < kSlotsPerOwner; ++idx) {
+        const Slot s = slot_of(owner, idx);
+        rl_next[s] = ctx.rl_cur[idx];
+        rr_next[s] = ctx.rr_cur[idx];
+      }
+    }
+  };
+  const unsigned threads =
+      std::min<unsigned>(opt_.threads, static_cast<unsigned>(owners.size()));
+  if (threads <= 1 || owners.size() < 64) {
+    shard_activity.resize(1);
+    run_range(0, owners.size(), ops, shard_activity[0]);
+    return;
+  }
+  // NOTE(parallel-safety): a peer mutates only its own slots' sets; all
+  // cross-peer effects go to the per-thread op queues, and the only foreign
+  // reads are static attributes and previous-round rl/rr. rl_next/rr_next
+  // writes are disjoint per peer. Determinism: queues are concatenated in
+  // shard order and sorted at commit.
+  std::vector<std::vector<DelayedOp>> shard_ops(threads);
+  shard_activity.resize(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (owners.size() + threads - 1) / threads;
+  for (unsigned t = 0; t < threads; ++t) {
+    const std::size_t begin = std::min<std::size_t>(t * chunk, owners.size());
+    const std::size_t end =
+        std::min<std::size_t>(begin + chunk, owners.size());
+    workers.emplace_back([&, begin, end, t] {
+      run_range(begin, end, shard_ops[t], shard_activity[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (auto& so : shard_ops)
+    ops.insert(ops.end(), so.begin(), so.end());
+}
+
+RoundMetrics Engine::step() {
+  if (prev_state_.empty()) prev_state_ = net_.serialize_state();
+
+  std::vector<DelayedOp> ops;
+  std::vector<Slot> rl_next(net_.slot_count(), kInvalidSlot);
+  std::vector<Slot> rr_next(net_.slot_count(), kInvalidSlot);
+  // A sleeping peer's rl/rr must persist, so default them to current values.
+  if (opt_.sleep_probability > 0.0) {
+    for (Slot s = 0; s < net_.slot_count(); ++s) {
+      rl_next[s] = net_.rl(s);
+      rr_next[s] = net_.rr(s);
+    }
+  }
+  std::vector<RuleActivity> shard_activity;
+  run_peers(ops, rl_next, rr_next, shard_activity);
+  activity_ = RuleActivity{};
+  for (const auto& act : shard_activity) activity_ += act;
+
+  // Commit: deliver all delayed assignments simultaneously, in deterministic
+  // order. A message to a meanwhile-deleted virtual node is absorbed by the
+  // owning peer's u_m (see DESIGN.md: ghost re-homing); a message to or from
+  // a departed peer is dropped.
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  auto resolve = [this](Slot s) -> Slot {
+    if (net_.alive(s)) return s;
+    const std::uint32_t owner = owner_of(s);
+    if (!net_.owner_alive(owner)) return kInvalidSlot;
+    return slot_of(owner, net_.max_live_index(owner));
+  };
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (opt_.message_loss > 0.0 &&
+        fault_coin(opt_.fault_seed ^ 0xD70Full, round_, i,
+                   opt_.message_loss)) {
+      ++dropped_;
+      continue;
+    }
+    const Slot target = resolve(ops[i].target);
+    const Slot payload = resolve(ops[i].payload);
+    if (target == kInvalidSlot || payload == kInvalidSlot) continue;
+    net_.add_edge(target, ops[i].kind, payload);
+  }
+  // Publish this round's rl/rr (rule 3 results reference real slots only;
+  // normalize() clears any that refer to dead slots).
+  for (Slot s = 0; s < net_.slot_count(); ++s) {
+    net_.set_rl(s, rl_next[s]);
+    net_.set_rr(s, rr_next[s]);
+  }
+  net_.normalize();
+  ++round_;
+
+  auto state = net_.serialize_state();
+  RoundMetrics mt = measure();
+  mt.round = round_;
+  mt.changed = state != prev_state_;
+  prev_state_ = std::move(state);
+  return mt;
+}
+
+RoundMetrics Engine::measure() const {
+  RoundMetrics mt;
+  mt.round = round_;
+  mt.real_nodes = net_.alive_owner_count();
+  mt.virtual_nodes = net_.live_virtual_count();
+  mt.unmarked_edges = net_.edge_count(EdgeKind::kUnmarked);
+  mt.ring_edges = net_.edge_count(EdgeKind::kRing);
+  mt.connection_edges = net_.edge_count(EdgeKind::kConnection);
+  mt.changed = true;
+  return mt;
+}
+
+}  // namespace rechord::core

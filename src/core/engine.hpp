@@ -1,0 +1,106 @@
+#pragma once
+// The synchronous round engine (the paper's model, §2.1): in each round every
+// peer applies rules 1..6 to its own state; all cross-node effects (delayed
+// assignments / messages) are collected and delivered simultaneously at the
+// end of the round. Peers are independent within a round -- no rule reads
+// another node's edge sets, only static attributes (position, realness) and
+// previous-round published rl/rr -- so the phase can be sharded over threads
+// with bit-identical results (asserted in tests).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/rules.hpp"
+#include "core/types.hpp"
+
+namespace rechord::core {
+
+/// Per-round measurements; the quantities plotted in the paper's figures.
+struct RoundMetrics {
+  std::uint64_t round = 0;
+  std::size_t real_nodes = 0;
+  std::size_t virtual_nodes = 0;
+  std::size_t unmarked_edges = 0;
+  std::size_t ring_edges = 0;
+  std::size_t connection_edges = 0;
+  /// True when this round changed the global state (fixpoint detector).
+  bool changed = true;
+
+  /// The paper's "normal edges": everything except connection edges.
+  [[nodiscard]] std::size_t normal_edges() const noexcept {
+    return unmarked_edges + ring_edges;
+  }
+  [[nodiscard]] std::size_t total_edges() const noexcept {
+    return normal_edges() + connection_edges;
+  }
+  [[nodiscard]] std::size_t total_nodes() const noexcept {
+    return real_nodes + virtual_nodes;
+  }
+};
+
+struct EngineOptions {
+  /// Number of worker threads for the rule phase; 1 = serial. Values > 1
+  /// shard peers over threads (deterministic result either way).
+  unsigned threads = 1;
+
+  // -- fault injection (beyond the paper's model; see bench/fault_tolerance)
+  /// Probability that a peer does NOT act in a given round (asynchrony /
+  /// partial activation). 0 = the paper's fully synchronous model. With
+  /// activation faults, fixpoint detection can fire spuriously (a round in
+  /// which nothing happened to act); measure against the spec instead.
+  double sleep_probability = 0.0;
+  /// Probability that a delayed assignment (message) is dropped at commit.
+  /// The paper's model assumes reliable delivery; loss can permanently
+  /// destroy information (e.g. a linearization forward), so recovery is
+  /// empirical, not guaranteed.
+  double message_loss = 0.0;
+  /// Seed of the deterministic fault schedule.
+  std::uint64_t fault_seed = 0x5EEDFA17;
+};
+
+class Engine {
+ public:
+  explicit Engine(Network net, EngineOptions opt = {});
+
+  [[nodiscard]] Network& network() noexcept { return net_; }
+  [[nodiscard]] const Network& network() const noexcept { return net_; }
+
+  /// Executes one synchronous round and reports metrics (incl. whether the
+  /// state changed -- `!changed` means the network was already stable).
+  RoundMetrics step();
+
+  /// Metrics of the current state without running a round.
+  [[nodiscard]] RoundMetrics measure() const;
+
+  [[nodiscard]] std::uint64_t rounds_executed() const noexcept {
+    return round_;
+  }
+
+  /// Call after out-of-band mutations (churn, fuzzing) so that fixpoint
+  /// detection does not compare against a stale snapshot.
+  void reset_change_tracking() { prev_state_.clear(); }
+
+  /// Rule actions fired in the most recent round (see RuleActivity).
+  [[nodiscard]] const RuleActivity& last_activity() const noexcept {
+    return activity_;
+  }
+  /// Messages (delayed assignments) dropped by fault injection so far.
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  Network net_;
+  EngineOptions opt_;
+  std::uint64_t round_ = 0;
+  std::uint64_t dropped_ = 0;
+  RuleActivity activity_;
+  std::vector<std::uint64_t> prev_state_;
+
+  void run_peers(std::vector<DelayedOp>& ops, std::vector<Slot>& rl_next,
+                 std::vector<Slot>& rr_next,
+                 std::vector<RuleActivity>& shard_activity);
+};
+
+}  // namespace rechord::core

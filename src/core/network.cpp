@@ -1,0 +1,208 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace rechord::core {
+
+Network::Network(std::span<const RingPos> real_ids) {
+  owner_pos_.reserve(real_ids.size());
+  for (RingPos id : real_ids) add_owner(id);
+}
+
+void Network::grow_slots(std::uint32_t owner) {
+  const std::size_t want = static_cast<std::size_t>(owner + 1) * kSlotsPerOwner;
+  pos_.resize(want, 0);
+  alive_.resize(want, 0);
+  rl_.resize(want, kInvalidSlot);
+  rr_.resize(want, kInvalidSlot);
+  for (auto& per_kind : sets_) per_kind.resize(want);
+}
+
+std::uint32_t Network::add_owner(RingPos id) {
+#ifndef NDEBUG
+  for (std::uint32_t o = 0; o < owner_count(); ++o)
+    assert(!owner_alive(o) || owner_pos_[o] != id);
+#endif
+  const auto owner = static_cast<std::uint32_t>(owner_pos_.size());
+  owner_pos_.push_back(id);
+  grow_slots(owner);
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i)
+    pos_[slot_of(owner, i)] = ident::virtual_pos(id, static_cast<int>(i));
+  alive_[slot_of(owner, 0)] = 1;
+  return owner;
+}
+
+std::uint32_t Network::alive_owner_count() const noexcept {
+  std::uint32_t n = 0;
+  for (std::uint32_t o = 0; o < owner_count(); ++o)
+    if (owner_alive(o)) ++n;
+  return n;
+}
+
+std::uint32_t Network::max_live_index(std::uint32_t owner) const noexcept {
+  for (std::uint32_t i = kSlotsPerOwner; i-- > 1;)
+    if (alive_[slot_of(owner, i)]) return i;
+  return 0;
+}
+
+std::vector<std::uint32_t> Network::live_owners() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(owner_count());
+  for (std::uint32_t o = 0; o < owner_count(); ++o)
+    if (owner_alive(o)) out.push_back(o);
+  return out;
+}
+
+std::vector<Slot> Network::live_slots() const {
+  std::vector<Slot> out;
+  for (Slot s = 0; s < slot_count(); ++s)
+    if (alive_[s]) out.push_back(s);
+  return out;
+}
+
+std::vector<Slot> Network::live_slots_of(std::uint32_t owner) const {
+  std::vector<Slot> out;
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+    const Slot s = slot_of(owner, i);
+    if (alive_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+bool Network::add_edge(Slot s, EdgeKind k, Slot target) {
+  if (s == target) return false;
+  auto& set = sets_[static_cast<std::size_t>(k)][s];
+  const auto key = order_key(target);
+  const auto it = std::lower_bound(
+      set.begin(), set.end(), key,
+      [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
+  if (it != set.end() && *it == target) return false;
+  set.insert(it, target);
+  return true;
+}
+
+bool Network::remove_edge(Slot s, EdgeKind k, Slot target) {
+  auto& set = sets_[static_cast<std::size_t>(k)][s];
+  const auto key = order_key(target);
+  const auto it = std::lower_bound(
+      set.begin(), set.end(), key,
+      [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
+  if (it == set.end() || *it != target) return false;
+  set.erase(it);
+  return true;
+}
+
+bool Network::has_edge(Slot s, EdgeKind k, Slot target) const noexcept {
+  const auto& set = sets_[static_cast<std::size_t>(k)][s];
+  const auto key = order_key(target);
+  const auto it = std::lower_bound(
+      set.begin(), set.end(), key,
+      [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
+  return it != set.end() && *it == target;
+}
+
+void Network::clear_edges(Slot s) {
+  for (auto& per_kind : sets_) per_kind[s].clear();
+}
+
+void Network::normalize() {
+  // Resolve a (possibly dead) reference to a live slot, or kInvalidSlot.
+  auto resolve = [this](Slot t) -> Slot {
+    if (alive_[t]) return t;
+    const std::uint32_t owner = owner_of(t);
+    if (!owner_alive(owner)) return kInvalidSlot;  // peer left the system
+    return slot_of(owner, max_live_index(owner));
+  };
+  std::vector<Slot> scratch;
+  for (Slot s = 0; s < slot_count(); ++s) {
+    for (auto& per_kind : sets_) {
+      auto& set = per_kind[s];
+      if (!alive_[s]) {
+        set.clear();
+        continue;
+      }
+      bool dirty = false;
+      for (Slot t : set) {
+        if (!alive_[t]) {
+          dirty = true;
+          break;
+        }
+      }
+      if (!dirty) continue;
+      scratch.clear();
+      for (Slot t : set) {
+        const Slot r = resolve(t);
+        if (r != kInvalidSlot && r != s) scratch.push_back(r);
+      }
+      std::sort(scratch.begin(), scratch.end(), [this](Slot a, Slot b) {
+        return order_key(a) < order_key(b);
+      });
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      set = scratch;
+    }
+    if (alive_[s]) {
+      if (rl_[s] != kInvalidSlot && !alive_[rl_[s]]) rl_[s] = kInvalidSlot;
+      if (rr_[s] != kInvalidSlot && !alive_[rr_[s]]) rr_[s] = kInvalidSlot;
+    } else {
+      rl_[s] = rr_[s] = kInvalidSlot;
+    }
+  }
+}
+
+std::vector<std::uint64_t> Network::serialize_state() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(64 + 4 * slot_count());
+  out.push_back(slot_count());
+  for (Slot s = 0; s < slot_count(); ++s) {
+    if (!alive_[s]) continue;
+    out.push_back(0xA11CE000ULL | s);
+    out.push_back((static_cast<std::uint64_t>(rl_[s]) << 32) | rr_[s]);
+    for (const auto& per_kind : sets_) {
+      out.push_back(0xED6E0000ULL | per_kind[s].size());
+      for (Slot t : per_kind[s]) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Network::state_fingerprint() const {
+  std::uint64_t h = 0x5EED0F1B57A713ULL;
+  for (std::uint64_t w : serialize_state()) h = util::mix64(h ^ w);
+  return h;
+}
+
+std::size_t Network::edge_count(EdgeKind k) const noexcept {
+  std::size_t n = 0;
+  for (Slot s = 0; s < slot_count(); ++s)
+    if (alive_[s]) n += sets_[static_cast<std::size_t>(k)][s].size();
+  return n;
+}
+
+std::size_t Network::live_slot_count() const noexcept {
+  std::size_t n = 0;
+  for (Slot s = 0; s < slot_count(); ++s) n += alive_[s];
+  return n;
+}
+
+std::size_t Network::live_virtual_count() const noexcept {
+  std::size_t n = 0;
+  for (Slot s = 0; s < slot_count(); ++s)
+    if (alive_[s] && !is_real_slot(s)) ++n;
+  return n;
+}
+
+std::string Network::describe(Slot s) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s(%s%u@%u)%s",
+                ident::pos_to_string(pos_[s]).c_str(),
+                is_real_slot(s) ? "r" : "v", index_of(s), owner_of(s),
+                alive_[s] ? "" : "[dead]");
+  return buf;
+}
+
+}  // namespace rechord::core

@@ -1,0 +1,133 @@
+#pragma once
+// The mutable overlay-network state: which slots (real/virtual nodes) are
+// alive, their ring positions, their three outgoing edge sets, and the
+// published closest-real-neighbor variables rl/rr.
+//
+// Edge sets are kept sorted under the network's total node order
+// (position, virtual-before-real, slot id), so the min/max-neighbor guards
+// of the protocol rules are binary searches. The order refines the paper's
+// "<" on identifiers: ties (measure zero for random ids) are broken
+// deterministically.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rechord::core {
+
+class Network {
+ public:
+  /// Builds a network of real peers with the given (distinct) identifiers.
+  /// Only the u_0 slots are alive initially and no edges exist; callers add
+  /// initial edges (generators) and then run the engine.
+  explicit Network(std::span<const RingPos> real_ids);
+
+  // -- owners ---------------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t owner_count() const noexcept {
+    return static_cast<std::uint32_t>(owner_pos_.size());
+  }
+  [[nodiscard]] bool owner_alive(std::uint32_t owner) const noexcept {
+    return alive_[slot_of(owner, 0)];
+  }
+  [[nodiscard]] std::uint32_t alive_owner_count() const noexcept;
+  [[nodiscard]] RingPos owner_pos(std::uint32_t owner) const noexcept {
+    return owner_pos_[owner];
+  }
+  /// Adds a new peer (all slots dead except u_0); returns the owner id.
+  /// The id must be distinct from every live owner's id.
+  std::uint32_t add_owner(RingPos id);
+  /// Owner ids of all live peers, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> live_owners() const;
+
+  // -- slots ----------------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t slot_count() const noexcept {
+    return static_cast<std::uint32_t>(alive_.size());
+  }
+  [[nodiscard]] bool alive(Slot s) const noexcept { return alive_[s]; }
+  [[nodiscard]] RingPos pos(Slot s) const noexcept { return pos_[s]; }
+  /// Largest live index of this owner (the paper's u_m); 0 when only the
+  /// real slot is alive; meaningless for dead owners.
+  [[nodiscard]] std::uint32_t max_live_index(std::uint32_t owner) const noexcept;
+  /// All live slots, ascending slot id.
+  [[nodiscard]] std::vector<Slot> live_slots() const;
+  /// Live slots of one owner, ascending index.
+  [[nodiscard]] std::vector<Slot> live_slots_of(std::uint32_t owner) const;
+
+  /// Marks a slot alive/dead. Does not touch edges; the engine's commit pass
+  /// re-homes or drops references to dead slots.
+  void set_alive(Slot s, bool alive) { alive_[s] = alive; }
+
+  // -- total order ----------------------------------------------------------
+
+  /// Strict total order used for every "<" in the rules: by position, then
+  /// virtual-before-real, then slot id.
+  [[nodiscard]] bool before(Slot a, Slot b) const noexcept {
+    return order_key(a) < order_key(b);
+  }
+  [[nodiscard]] OrderKey order_key(Slot s) const noexcept {
+    return {pos_[s],
+            (static_cast<std::uint64_t>(is_real_slot(s) ? 1U : 0U) << 32) | s};
+  }
+
+  // -- edge sets ------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Slot>& edges(Slot s,
+                                               EdgeKind k) const noexcept {
+    return sets_[static_cast<std::size_t>(k)][s];
+  }
+  /// Inserts (s -> target); returns false for self-edges and duplicates.
+  bool add_edge(Slot s, EdgeKind k, Slot target);
+  /// Removes (s -> target); returns false if absent.
+  bool remove_edge(Slot s, EdgeKind k, Slot target);
+  [[nodiscard]] bool has_edge(Slot s, EdgeKind k, Slot target) const noexcept;
+  void clear_edges(Slot s);
+
+  // -- published closest-real-neighbor variables (previous round) ------------
+
+  [[nodiscard]] Slot rl(Slot s) const noexcept { return rl_[s]; }
+  [[nodiscard]] Slot rr(Slot s) const noexcept { return rr_[s]; }
+  void set_rl(Slot s, Slot v) noexcept { rl_[s] = v; }
+  void set_rr(Slot s, Slot v) noexcept { rr_[s] = v; }
+
+  // -- whole-state operations -------------------------------------------------
+
+  /// Rewrites every reference to a dead slot to the owning peer's u_m (a dead
+  /// owner's references are dropped), removes self-edges and duplicates.
+  /// Physically, an edge to a virtual node is a connection to the peer that
+  /// simulates it, so the peer re-homes links for deleted siblings.
+  void normalize();
+
+  /// Deterministic serialization of the full state (alive flags, edges,
+  /// rl/rr) for exact fixpoint detection.
+  [[nodiscard]] std::vector<std::uint64_t> serialize_state() const;
+
+  /// 64-bit digest of serialize_state() (for cheap change tracking).
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
+  // -- metrics ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t edge_count(EdgeKind k) const noexcept;
+  [[nodiscard]] std::size_t live_slot_count() const noexcept;
+  [[nodiscard]] std::size_t live_virtual_count() const noexcept;
+
+  /// Human-readable description of a slot, e.g. "0.250000(v3@7)" -- used in
+  /// test failure messages and DOT labels.
+  [[nodiscard]] std::string describe(Slot s) const;
+
+ private:
+  std::vector<RingPos> owner_pos_;
+  std::vector<RingPos> pos_;        // per slot
+  std::vector<std::uint8_t> alive_; // per slot
+  std::vector<Slot> rl_, rr_;       // per slot, kInvalidSlot when unknown
+  // sets_[kind][slot] = sorted vector of targets (by order_key).
+  std::vector<std::vector<Slot>> sets_[kEdgeKinds];
+
+  void grow_slots(std::uint32_t owner);
+};
+
+}  // namespace rechord::core

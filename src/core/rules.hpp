@@ -1,0 +1,118 @@
+#pragma once
+// The six self-stabilization rules of Re-Chord (paper §2.3), executed once
+// per synchronous round by every real node (peer) on behalf of all of its
+// virtual nodes.
+//
+// Semantics follow the paper exactly:
+//   * rules run in the order 1..6 within each peer,
+//   * a peer's edits to its OWN slots' sets are immediate (`:=`),
+//   * edits to other nodes' sets are delayed assignments (`⇐`) collected as
+//     DelayedOps and applied at the end of the round by the engine,
+//   * guards that read a neighbor's variables (rule 3's `v > rl(y)`) read the
+//     neighbor's previous-round published value.
+// Each rule is an independent entry point so unit tests can exercise guards
+// and actions in isolation. DESIGN.md documents how every textual ambiguity
+// in the paper was resolved.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/types.hpp"
+
+namespace rechord::core {
+
+/// Counters of rule actions fired in one round -- the instrument behind the
+/// phase analysis of §3 (connection, linearization, ring, closest-real,
+/// cleanup) and bench/rule_activity. "Fired" counts state-visible actions
+/// (edge insertions/removals/moves and delayed-op emissions), not guard
+/// evaluations.
+struct RuleActivity {
+  std::uint64_t virtuals_created = 0;   // rule 1
+  std::uint64_t virtuals_deleted = 0;   // rule 1
+  std::uint64_t overlap_moves = 0;      // rule 2
+  std::uint64_t real_neighbor_informs = 0;  // rule 3 (delayed ops emitted)
+  std::uint64_t lin_forwards = 0;       // rule 4 lin-left/right
+  std::uint64_t mirror_backedges = 0;   // rule 4 mirroring ops
+  std::uint64_t ring_creates = 0;       // rule 5 create-ring-edge
+  std::uint64_t ring_forwards = 0;      // rule 5 l1/r1
+  std::uint64_t ring_resolves = 0;      // rule 5 l2/r2 (-> unmarked)
+  std::uint64_t cedge_creates = 0;      // rule 6 connect-virtual-nodes
+  std::uint64_t cedge_forwards = 0;     // rule 6 cedges-1
+  std::uint64_t cedge_resolves = 0;     // rule 6 cedges-2 (-> backward edge)
+
+  RuleActivity& operator+=(const RuleActivity& o) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept;
+};
+
+/// Per-peer scratch state threaded through the rules of one round.
+struct RuleCtx {
+  Network& net;
+  std::uint32_t owner;
+  /// Delayed cross-node ops produced by this peer this round.
+  std::vector<DelayedOp>& ops;
+  /// rl/rr computed by rule 3 this round, published at commit. Indexed by
+  /// virtual-node index; kInvalidSlot when unknown.
+  std::array<Slot, kSlotsPerOwner> rl_cur{};
+  std::array<Slot, kSlotsPerOwner> rr_cur{};
+  RuleActivity activity;
+
+  // Scratch (refreshed by the helpers below; sorted by the network order).
+  std::vector<Slot> siblings;    // S(u): live slots of this owner
+  std::vector<Slot> known;       // N(u) = S(u) ∪ ⋃_j Nu(u_j)
+  std::vector<Slot> known_real;  // the real nodes in N(u)
+  std::vector<Slot> scratch;     // per-rule temporary
+
+  RuleCtx(Network& n, std::uint32_t o, std::vector<DelayedOp>& out)
+      : net(n), owner(o), ops(out) {
+    rl_cur.fill(kInvalidSlot);
+    rr_cur.fill(kInvalidSlot);
+  }
+};
+
+class Rules {
+ public:
+  /// The exponent m of the paper: the unique m with 2^-m <= d < 2^-(m-1)
+  /// where d is the clockwise distance from u to the closest real node that
+  /// any of u's slots has an outgoing edge to (any marking). Returns 1 when
+  /// no real node is known -- u_1 always exists.
+  [[nodiscard]] static int compute_m(const Network& net, std::uint32_t owner);
+
+  /// Rule 1 -- create u_i for i <= m, delete u_j for j > m and merge the
+  /// deleted nodes' outgoing neighborhoods into u_m as unmarked edges.
+  static void rule1_virtual_nodes(RuleCtx& ctx);
+
+  /// Rule 2 -- overlapping neighborhood: hand each unmarked neighbor w of
+  /// u_i to the sibling strictly between w and u_i that is closest to w.
+  static void rule2_overlap(RuleCtx& ctx);
+
+  /// Rule 3 -- closest real neighbor: compute rl/rr from N(u), connect to
+  /// them, and inform unmarked neighbors that would learn something new.
+  static void rule3_real_neighbors(RuleCtx& ctx);
+
+  /// Rule 4 -- linearization: keep only the closest unmarked neighbor per
+  /// side, forward the rest one hop inward, mirror backward edges from the
+  /// two closest neighbors, then re-add the rl/rr edges.
+  static void rule4_linearize(RuleCtx& ctx);
+
+  /// Rule 5 -- ring edges: extremal nodes request marked ring edges; held
+  /// ring edges are forwarded toward the global extremes or resolved into
+  /// unmarked edges when a better-placed node is known.
+  static void rule5_ring(RuleCtx& ctx);
+
+  /// Rule 6 -- connection edges: link contiguous siblings and forward the
+  /// marked connection edges greedily through the gap.
+  static void rule6_connection(RuleCtx& ctx);
+
+  /// Recomputes ctx.siblings from the network.
+  static void refresh_siblings(RuleCtx& ctx);
+  /// Recomputes ctx.known / ctx.known_real from the network.
+  static void refresh_known(RuleCtx& ctx);
+
+  /// Full per-round application for one peer: update m & neighborhoods, then
+  /// rules 1..6 in paper order.
+  static void run_all(RuleCtx& ctx);
+};
+
+}  // namespace rechord::core

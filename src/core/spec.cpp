@@ -1,0 +1,186 @@
+#include "core/spec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ident/ring_pos.hpp"
+
+namespace rechord::core {
+
+namespace {
+void sort_by_order(const Network& net, std::vector<Slot>& v) {
+  std::sort(v.begin(), v.end(), [&net](Slot a, Slot b) {
+    return net.order_key(a) < net.order_key(b);
+  });
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+}  // namespace
+
+StableSpec StableSpec::compute(const Network& net) {
+  StableSpec spec;
+  const std::vector<std::uint32_t> owners = net.live_owners();
+  spec.m_.assign(net.owner_count(), 0);
+  spec.eu_.resize(net.slot_count());
+  spec.er_.resize(net.slot_count());
+  spec.ec_.resize(net.slot_count());
+  spec.rl_.assign(net.slot_count(), kInvalidSlot);
+  spec.rr_.assign(net.slot_count(), kInvalidSlot);
+  if (owners.empty()) return spec;
+
+  // Stable m per owner: gap to the closest real successor (full circle for a
+  // single peer -> m = 1).
+  std::vector<RingPos> real_pos;
+  real_pos.reserve(owners.size());
+  for (auto o : owners) real_pos.push_back(net.owner_pos(o));
+  for (auto o : owners) {
+    RingPos best = 0;
+    bool found = false;
+    for (auto p : real_pos) {
+      const RingPos gap = ident::cw_dist(net.owner_pos(o), p);
+      if (gap == 0) continue;
+      if (!found || gap < best) {
+        best = gap;
+        found = true;
+      }
+    }
+    spec.m_[o] = found ? ident::exponent_for_gap(best) : 1;
+  }
+
+  // All spec-alive slots, sorted by the total order.
+  for (auto o : owners)
+    for (int i = 0; i <= spec.m_[o]; ++i)
+      spec.sorted_nodes_.push_back(slot_of(o, static_cast<std::uint32_t>(i)));
+  sort_by_order(net, spec.sorted_nodes_);
+  const auto& nodes = spec.sorted_nodes_;
+  const std::size_t n = nodes.size();
+
+  // Nearest real on each side, in linear order (no wrap; the seam is closed
+  // by ring edges only).
+  std::vector<Slot> last_real_before(n, kInvalidSlot);
+  std::vector<Slot> first_real_after(n, kInvalidSlot);
+  {
+    Slot run = kInvalidSlot;
+    for (std::size_t i = 0; i < n; ++i) {
+      last_real_before[i] = run;
+      if (is_real_slot(nodes[i])) run = nodes[i];
+    }
+    run = kInvalidSlot;
+    for (std::size_t i = n; i-- > 0;) {
+      first_real_after[i] = run;
+      if (is_real_slot(nodes[i])) run = nodes[i];
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot s = nodes[i];
+    auto& eu = spec.eu_[s];
+    if (i > 0) eu.push_back(nodes[i - 1]);                       // closest left
+    if (i + 1 < n) eu.push_back(nodes[i + 1]);                   // closest right
+    if (last_real_before[i] != kInvalidSlot) eu.push_back(last_real_before[i]);
+    if (first_real_after[i] != kInvalidSlot) eu.push_back(first_real_after[i]);
+    spec.rl_[s] = last_real_before[i];
+    spec.rr_[s] = first_real_after[i];
+    sort_by_order(net, eu);
+  }
+
+  // Ring closure: (max -> min) and (min -> max).
+  if (n >= 2) {
+    spec.er_[nodes.back()].push_back(nodes.front());
+    spec.er_[nodes.front()].push_back(nodes.back());
+  }
+
+  // Connection-edge steady chains per contiguous-sibling pair: positions
+  // x_1..x_k of the pipeline hold (x_l -> b) at every round boundary, where
+  // x_{l+1} = max{ y in euSpec(x_l) ∪ S(owner(x_l)) : y < b } and x_k is b's
+  // global predecessor (see DESIGN.md).
+  for (auto o : owners) {
+    std::vector<Slot> sib;
+    for (int i = 0; i <= spec.m_[o]; ++i)
+      sib.push_back(slot_of(o, static_cast<std::uint32_t>(i)));
+    sort_by_order(net, sib);
+    for (std::size_t p = 0; p + 1 < sib.size(); ++p) {
+      const Slot b = sib[p + 1];
+      const auto b_key = net.order_key(b);
+      Slot x = sib[p];
+      for (;;) {
+        // candidates: spec unmarked neighborhood of x plus x's own siblings.
+        Slot w = kInvalidSlot;
+        auto consider = [&](Slot y) {
+          if (net.order_key(y) >= b_key) return;
+          if (w == kInvalidSlot || net.order_key(y) > net.order_key(w)) w = y;
+        };
+        for (Slot y : spec.eu_[x]) consider(y);
+        {
+          const std::uint32_t xo = owner_of(x);
+          for (int i = 0; i <= spec.m_[xo]; ++i)
+            consider(slot_of(xo, static_cast<std::uint32_t>(i)));
+        }
+        if (w == kInvalidSlot || w == x) break;  // terminal (cedges-2)
+        spec.ec_[w].push_back(b);
+        x = w;
+      }
+    }
+  }
+  for (Slot s : nodes) sort_by_order(net, spec.ec_[s]);
+  return spec;
+}
+
+bool StableSpec::almost_stable(const Network& net) const {
+  for (Slot s : sorted_nodes_) {
+    if (!net.alive(s)) return false;
+    const auto& have = net.edges(s, EdgeKind::kUnmarked);
+    for (Slot want : eu_[s])
+      if (!std::binary_search(have.begin(), have.end(), want,
+                              [&net](Slot a, Slot b) {
+                                return net.order_key(a) < net.order_key(b);
+                              }))
+        return false;
+    for (Slot want : er_[s])
+      if (!net.has_edge(s, EdgeKind::kRing, want)) return false;
+  }
+  return true;
+}
+
+bool StableSpec::exact_match(const Network& net, std::string* why) const {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  // Live slots must be exactly the spec nodes.
+  std::vector<Slot> live = net.live_slots();
+  std::vector<Slot> want = sorted_nodes_;
+  std::sort(live.begin(), live.end());
+  std::sort(want.begin(), want.end());
+  if (live != want) {
+    for (Slot s : live)
+      if (!std::binary_search(want.begin(), want.end(), s))
+        return fail("unexpected live slot " + net.describe(s));
+    for (Slot s : want)
+      if (!std::binary_search(live.begin(), live.end(), s))
+        return fail("missing live slot " + net.describe(s));
+  }
+  for (Slot s : sorted_nodes_) {
+    if (net.edges(s, EdgeKind::kUnmarked) != eu_[s])
+      return fail("Eu mismatch at " + net.describe(s));
+    if (net.edges(s, EdgeKind::kRing) != er_[s])
+      return fail("Er mismatch at " + net.describe(s));
+    if (net.edges(s, EdgeKind::kConnection) != ec_[s])
+      return fail("Ec mismatch at " + net.describe(s));
+    if (net.rl(s) != rl_[s])
+      return fail("rl mismatch at " + net.describe(s));
+    if (net.rr(s) != rr_[s])
+      return fail("rr mismatch at " + net.describe(s));
+  }
+  return true;
+}
+
+std::size_t StableSpec::spec_edge_count(EdgeKind k) const noexcept {
+  const auto& per_slot = k == EdgeKind::kUnmarked ? eu_
+                         : k == EdgeKind::kRing   ? er_
+                                                  : ec_;
+  std::size_t total = 0;
+  for (Slot s : sorted_nodes_) total += per_slot[s].size();
+  return total;
+}
+
+}  // namespace rechord::core

@@ -1,0 +1,78 @@
+#pragma once
+// The *specification* of the stable Re-Chord topology, computed directly from
+// the set of live peer identifiers (no protocol execution). Used to
+//   * detect the paper's "almost stable" state (all desired edges present,
+//     extra edges allowed -- Figure 6's second series),
+//   * assert that the protocol's fixpoint is exactly the desired topology,
+//   * derive the Chord graph for the Fact 2.1 subgraph check.
+//
+// Stable topology (paper §2.2/§3.1.6): per peer u, virtual nodes u_1..u_m
+// with 2^-m <= dist(u, succ_real(u)) < 2^-(m-1); every node holds unmarked
+// edges to its closest left/right node and closest left/right real node (in
+// linear identifier order, when they exist); the global extremes hold the two
+// marked ring edges; and each contiguous-sibling gap carries a steady chain
+// of connection edges (see DESIGN.md, "steady flows").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/types.hpp"
+
+namespace rechord::core {
+
+class StableSpec {
+ public:
+  /// Computes the specification for the network's current live peers.
+  [[nodiscard]] static StableSpec compute(const Network& net);
+
+  /// "Almost stable": every spec node is alive and every desired unmarked and
+  /// ring edge is present with the right marking (extras allowed).
+  [[nodiscard]] bool almost_stable(const Network& net) const;
+
+  /// Exact stability: live slots, all three edge sets and rl/rr match the
+  /// spec precisely. On mismatch, `why` (if given) receives a description.
+  [[nodiscard]] bool exact_match(const Network& net,
+                                 std::string* why = nullptr) const;
+
+  // -- introspection (tests, benches) --------------------------------------
+
+  [[nodiscard]] const std::vector<Slot>& nodes_in_order() const noexcept {
+    return sorted_nodes_;
+  }
+  [[nodiscard]] const std::vector<Slot>& expected_alive() const noexcept {
+    return sorted_nodes_;
+  }
+  [[nodiscard]] int m_of(std::uint32_t owner) const noexcept {
+    return m_[owner];
+  }
+  [[nodiscard]] const std::vector<Slot>& eu(Slot s) const noexcept {
+    return eu_[s];
+  }
+  [[nodiscard]] const std::vector<Slot>& er(Slot s) const noexcept {
+    return er_[s];
+  }
+  [[nodiscard]] const std::vector<Slot>& ec(Slot s) const noexcept {
+    return ec_[s];
+  }
+  [[nodiscard]] Slot rl(Slot s) const noexcept { return rl_[s]; }
+  [[nodiscard]] Slot rr(Slot s) const noexcept { return rr_[s]; }
+  /// Global minimum/maximum node (ring-edge endpoints); kInvalidSlot when
+  /// the network has no live peers.
+  [[nodiscard]] Slot min_node() const noexcept {
+    return sorted_nodes_.empty() ? kInvalidSlot : sorted_nodes_.front();
+  }
+  [[nodiscard]] Slot max_node() const noexcept {
+    return sorted_nodes_.empty() ? kInvalidSlot : sorted_nodes_.back();
+  }
+  [[nodiscard]] std::size_t spec_edge_count(EdgeKind k) const noexcept;
+
+ private:
+  std::vector<Slot> sorted_nodes_;            // all spec-alive slots, by order
+  std::vector<int> m_;                        // per owner
+  std::vector<std::vector<Slot>> eu_, er_, ec_;  // per slot (spec-alive only)
+  std::vector<Slot> rl_, rr_;                 // per slot
+};
+
+}  // namespace rechord::core

@@ -1,0 +1,78 @@
+#pragma once
+// Core vocabulary types of the Re-Chord simulation.
+//
+// Every peer (real node) `u` owns up to 64 virtual nodes u_i = u + 2^-i.
+// A (real or virtual) node is addressed by a *slot*: owner * 65 + i with
+// i == 0 for the real node itself. Slot ids are stable for the lifetime of a
+// network, so edges are plain slot references.
+
+#include <cstdint>
+
+#include "ident/ring_pos.hpp"
+
+namespace rechord::core {
+
+using ident::RingPos;
+
+/// Dense node address: owner * kSlotsPerOwner + index.
+using Slot = std::uint32_t;
+
+/// Index 0 is the real node u_0 = u; indices 1..64 are virtual nodes.
+inline constexpr std::uint32_t kSlotsPerOwner = 65;
+
+inline constexpr Slot kInvalidSlot = 0xFFFFFFFFU;
+
+/// The three edge markings of the paper: E = Eu ∪ Er ∪ Ec (multigraph --
+/// the same (u,v) pair may carry several markings simultaneously).
+enum class EdgeKind : std::uint8_t { kUnmarked = 0, kRing = 1, kConnection = 2 };
+
+inline constexpr int kEdgeKinds = 3;
+
+[[nodiscard]] constexpr Slot slot_of(std::uint32_t owner,
+                                     std::uint32_t index) noexcept {
+  return owner * kSlotsPerOwner + index;
+}
+[[nodiscard]] constexpr std::uint32_t owner_of(Slot s) noexcept {
+  return s / kSlotsPerOwner;
+}
+[[nodiscard]] constexpr std::uint32_t index_of(Slot s) noexcept {
+  return s % kSlotsPerOwner;
+}
+/// True for u_0 slots (the peers themselves), i.e. members of V_r.
+[[nodiscard]] constexpr bool is_real_slot(Slot s) noexcept {
+  return index_of(s) == 0;
+}
+
+/// Sort key of the strict total order on nodes: position first, then
+/// virtual-before-real, then slot id. Refines the paper's "<" on identifiers
+/// with a deterministic tie-break (ties have measure zero for random ids).
+struct OrderKey {
+  std::uint64_t pos;
+  std::uint64_t tie;
+  friend constexpr bool operator==(const OrderKey&,
+                                   const OrderKey&) noexcept = default;
+  friend constexpr auto operator<=>(const OrderKey&,
+                                    const OrderKey&) noexcept = default;
+};
+
+/// A cross-node state change: the paper's "delayed assignment" A ⇐ B.
+/// All cross-node commands in rules 1-6 are set insertions, so one op shape
+/// suffices: insert `payload` into edge set `kind` of node `target` at the
+/// end of the round.
+struct DelayedOp {
+  Slot target;
+  EdgeKind kind;
+  Slot payload;
+
+  friend constexpr bool operator==(const DelayedOp&,
+                                   const DelayedOp&) noexcept = default;
+  friend constexpr auto operator<=>(const DelayedOp& a,
+                                    const DelayedOp& b) noexcept {
+    if (auto c = a.target <=> b.target; c != 0) return c;
+    if (auto c = static_cast<int>(a.kind) <=> static_cast<int>(b.kind); c != 0)
+      return c;
+    return a.payload <=> b.payload;
+  }
+};
+
+}  // namespace rechord::core

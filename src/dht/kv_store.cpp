@@ -1,0 +1,182 @@
+#include "dht/kv_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ident/hashing.hpp"
+#include "ident/ring_pos.hpp"
+
+namespace rechord::dht {
+
+std::uint32_t RoutingView::responsible(core::RingPos h) const {
+  assert(!proj.pos.empty());
+  const std::uint32_t v = chord::responsible_vertex(proj.pos, h);
+  return proj.owners[v];
+}
+
+std::vector<std::uint32_t> RoutingView::replica_set(core::RingPos h,
+                                                    unsigned replicas) const {
+  // Sort live peers by clockwise distance from h and take the closest r.
+  std::vector<std::uint32_t> order(proj.owners.size());
+  for (std::uint32_t v = 0; v < order.size(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return ident::cw_dist(h, proj.pos[a]) < ident::cw_dist(h, proj.pos[b]);
+  });
+  std::vector<std::uint32_t> owners;
+  const std::size_t want = std::min<std::size_t>(replicas, order.size());
+  owners.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) owners.push_back(proj.owners[order[i]]);
+  return owners;
+}
+
+chord::LookupResult RoutingView::route(std::uint32_t from_owner,
+                                       core::RingPos h) const {
+  const std::uint32_t from = proj.vertex_of_owner[from_owner];
+  assert(from != UINT32_MAX);
+  return chord::greedy_lookup(proj.graph, proj.pos, from, h,
+                              64 * proj.pos.size() + 64);
+}
+
+void KvStore::ensure_owner(std::uint32_t owner) {
+  if (owner >= storage_.size()) storage_.resize(owner + 1);
+}
+
+void KvStore::store_copy(std::uint32_t owner, core::RingPos h, Record rec) {
+  ensure_owner(owner);
+  auto& slot = storage_[owner][h];
+  if (slot.version <= rec.version) slot = std::move(rec);
+}
+
+PutResult KvStore::put(const RoutingView& view, std::string_view key,
+                       std::string value, std::uint32_t from_owner) {
+  PutResult result;
+  const core::RingPos h = ident::hash_name(key);
+  const auto route = view.route(from_owner, h);
+  if (!route.success) return result;
+  result.hops = route.hops;
+  result.home_owner = view.proj.owners[route.target];
+  Record rec{std::string(key), std::move(value), ++version_clock_};
+  for (std::uint32_t owner : view.replica_set(h, opt_.replicas))
+    store_copy(owner, h, rec);
+  registry_[rec.key] = h;
+  result.ok = true;
+  return result;
+}
+
+GetResult KvStore::get(const RoutingView& view, std::string_view key,
+                       std::uint32_t from_owner) const {
+  GetResult result;
+  const core::RingPos h = ident::hash_name(key);
+  const auto route = view.route(from_owner, h);
+  if (!route.success) return result;
+  result.hops = route.hops;
+  // Primary first, then walk the successor replicas (one hop each).
+  const auto owners = view.replica_set(h, opt_.replicas);
+  for (std::size_t i = 0; i < owners.size(); ++i) {
+    const std::uint32_t owner = owners[i];
+    if (owner < storage_.size()) {
+      const auto it = storage_[owner].find(h);
+      if (it != storage_[owner].end() && it->second.key == key) {
+        result.found = true;
+        result.value = it->second.value;
+        result.hops += i;  // extra hops to reach the i-th replica
+        result.from_replica = i > 0;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+bool KvStore::erase(const RoutingView& view, std::string_view key,
+                    std::uint32_t from_owner) {
+  const core::RingPos h = ident::hash_name(key);
+  const auto route = view.route(from_owner, h);
+  if (!route.success) return false;
+  bool existed = false;
+  for (std::uint32_t owner : view.replica_set(h, opt_.replicas)) {
+    if (owner < storage_.size()) existed |= storage_[owner].erase(h) > 0;
+  }
+  registry_.erase(std::string(key));
+  return existed;
+}
+
+std::size_t KvStore::rebalance(const RoutingView& view) {
+  // Collect the newest surviving copy of every record, then rewrite the
+  // replica placement from scratch.
+  std::map<core::RingPos, Record> newest;
+  for (const auto& per_owner : storage_) {
+    for (const auto& [h, rec] : per_owner) {
+      auto& slot = newest[h];
+      if (slot.version <= rec.version) slot = rec;
+    }
+  }
+  std::size_t moved = 0;
+  std::vector<std::map<core::RingPos, Record>> fresh(storage_.size());
+  for (auto& [h, rec] : newest) {
+    for (std::uint32_t owner : view.replica_set(h, opt_.replicas)) {
+      if (owner >= fresh.size()) fresh.resize(owner + 1);
+      const bool had = owner < storage_.size() &&
+                       storage_[owner].find(h) != storage_[owner].end();
+      if (!had) ++moved;
+      fresh[owner][h] = rec;
+    }
+  }
+  storage_ = std::move(fresh);
+  return moved;
+}
+
+std::size_t KvStore::handoff(const RoutingView& view,
+                             std::uint32_t leaving_owner) {
+  if (leaving_owner >= storage_.size()) return 0;
+  std::size_t transferred = 0;
+  auto records = std::move(storage_[leaving_owner]);
+  storage_[leaving_owner].clear();
+  for (auto& [h, rec] : records) {
+    // Next responsible peers, excluding the leaver.
+    for (std::uint32_t owner : view.replica_set(h, opt_.replicas + 1)) {
+      if (owner == leaving_owner) continue;
+      ensure_owner(owner);
+      if (storage_[owner].find(h) == storage_[owner].end()) {
+        store_copy(owner, h, rec);
+        ++transferred;
+        break;
+      }
+    }
+  }
+  return transferred;
+}
+
+void KvStore::drop(std::uint32_t crashed_owner) {
+  if (crashed_owner < storage_.size()) storage_[crashed_owner].clear();
+}
+
+std::size_t KvStore::total_records() const {
+  std::size_t n = 0;
+  for (const auto& per_owner : storage_) n += per_owner.size();
+  return n;
+}
+
+std::size_t KvStore::records_on(std::uint32_t owner) const {
+  return owner < storage_.size() ? storage_[owner].size() : 0;
+}
+
+std::vector<std::string> KvStore::lost_keys(const RoutingView& view) const {
+  std::vector<std::string> lost;
+  for (const auto& [key, h] : registry_) {
+    bool alive = false;
+    for (std::uint32_t owner : view.proj.owners) {
+      if (owner < storage_.size()) {
+        const auto it = storage_[owner].find(h);
+        if (it != storage_[owner].end() && it->second.key == key) {
+          alive = true;
+          break;
+        }
+      }
+    }
+    if (!alive) lost.push_back(key);
+  }
+  return lost;
+}
+
+}  // namespace rechord::dht

@@ -1,0 +1,128 @@
+#pragma once
+// A distributed key-value store on top of the stabilized Re-Chord overlay --
+// the application the paper's Fact 2.1 promises ("the final state of
+// Re-Chord contains Chord as a subgraph, so it can faithfully emulate any
+// applications on top of Chord"). Keys are consistently hashed onto the
+// identifier ring; a key lives on the peer whose identifier is the closest
+// clockwise successor of its hash (plus optional successor replicas), and
+// requests are routed with the Chord binary-search strategy over the
+// real-node projection (O(log n) hops).
+//
+// Membership changes follow Chord's data-plane conventions:
+//   * join        -> rebalance() migrates the arc the newcomer now owns,
+//   * graceful leave -> handoff() moves the leaver's records to successors,
+//   * crash       -> drop() loses the replica; rebalance() re-replicates
+//                    surviving copies back up to the replication factor.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chord/routing.hpp"
+#include "core/network.hpp"
+#include "core/projection.hpp"
+
+namespace rechord::dht {
+
+/// A routing snapshot of the live overlay (recompute after churn/healing).
+struct RoutingView {
+  core::RealProjection proj;
+
+  [[nodiscard]] static RoutingView snapshot(const core::Network& net) {
+    return {core::RealProjection::compute(net)};
+  }
+
+  [[nodiscard]] std::size_t peer_count() const {
+    return proj.owners.size();
+  }
+  /// The owner responsible for hash h: successor(h) on the ring.
+  [[nodiscard]] std::uint32_t responsible(core::RingPos h) const;
+  /// The first `replicas` distinct owners clockwise from h (successor list).
+  [[nodiscard]] std::vector<std::uint32_t> replica_set(core::RingPos h,
+                                                       unsigned replicas) const;
+  /// Greedy Chord routing from a peer toward successor(h).
+  [[nodiscard]] chord::LookupResult route(std::uint32_t from_owner,
+                                          core::RingPos h) const;
+};
+
+struct StoreOptions {
+  /// Total copies per key (primary + replicas-1 successor copies).
+  unsigned replicas = 1;
+};
+
+struct PutResult {
+  bool ok = false;
+  std::size_t hops = 0;
+  std::uint32_t home_owner = 0;  // primary
+};
+
+struct GetResult {
+  bool found = false;
+  std::string value;
+  std::size_t hops = 0;
+  bool from_replica = false;  // served by a non-primary copy
+};
+
+class KvStore {
+ public:
+  explicit KvStore(StoreOptions opt = {}) : opt_(opt) {}
+
+  /// Routes from `from_owner` and stores (key, value) on the replica set.
+  PutResult put(const RoutingView& view, std::string_view key,
+                std::string value, std::uint32_t from_owner);
+
+  /// Routes from `from_owner`; falls back to successor replicas when the
+  /// primary lacks the record (each fallback costs one extra hop).
+  [[nodiscard]] GetResult get(const RoutingView& view, std::string_view key,
+                              std::uint32_t from_owner) const;
+
+  /// Removes the key from every live replica; true if any copy existed.
+  bool erase(const RoutingView& view, std::string_view key,
+             std::uint32_t from_owner);
+
+  /// Re-assigns every record to the current replica set (Chord's key
+  /// migration after churn). Returns the number of records moved or copied.
+  std::size_t rebalance(const RoutingView& view);
+
+  /// Graceful leave, data plane: the leaver pushes each of its records to
+  /// the next responsible peers (excluding itself). Call BEFORE removing the
+  /// peer from the network. Returns records transferred.
+  std::size_t handoff(const RoutingView& view, std::uint32_t leaving_owner);
+
+  /// Crash, data plane: the peer's replica is lost.
+  void drop(std::uint32_t crashed_owner);
+
+  // -- introspection -------------------------------------------------------
+
+  /// Number of (key, replica) records currently stored.
+  [[nodiscard]] std::size_t total_records() const;
+  /// Records held by one peer.
+  [[nodiscard]] std::size_t records_on(std::uint32_t owner) const;
+  /// Keys ever put (and not erased) that no live peer holds any copy of.
+  [[nodiscard]] std::vector<std::string> lost_keys(
+      const RoutingView& view) const;
+
+  [[nodiscard]] const StoreOptions& options() const noexcept { return opt_; }
+
+ private:
+  struct Record {
+    std::string key;
+    std::string value;
+    std::uint64_t version = 0;
+  };
+
+  StoreOptions opt_;
+  /// storage_[owner]: hash -> record. Grows with the owner id space.
+  std::vector<std::map<core::RingPos, Record>> storage_;
+  /// Audit registry of live keys (name -> hash), for loss accounting.
+  std::map<std::string, core::RingPos> registry_;
+  std::uint64_t version_clock_ = 0;
+
+  void ensure_owner(std::uint32_t owner);
+  void store_copy(std::uint32_t owner, core::RingPos h, Record rec);
+};
+
+}  // namespace rechord::dht

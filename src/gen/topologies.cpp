@@ -1,0 +1,153 @@
+#include "gen/topologies.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rechord::gen {
+
+using core::EdgeKind;
+using core::Network;
+using core::RingPos;
+using core::Slot;
+using graph::Digraph;
+using graph::Vertex;
+
+const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kRandomConnected: return "random";
+    case Topology::kLine: return "line";
+    case Topology::kStar: return "star";
+    case Topology::kStarOut: return "star-out";
+    case Topology::kBinaryTree: return "btree";
+    case Topology::kCycle: return "cycle";
+    case Topology::kClique: return "clique";
+    case Topology::kTwoClusters: return "two-clusters";
+  }
+  return "?";
+}
+
+std::vector<Topology> all_topologies() {
+  return {Topology::kRandomConnected, Topology::kLine,
+          Topology::kStar,            Topology::kStarOut,
+          Topology::kBinaryTree,      Topology::kCycle,
+          Topology::kClique,          Topology::kTwoClusters};
+}
+
+Digraph make_topology(Topology t, std::size_t n, util::Rng& rng,
+                      const TopologyOptions& opt) {
+  assert(n >= 1);
+  Digraph g(n);
+  auto v = [](std::size_t i) { return static_cast<Vertex>(i); };
+  switch (t) {
+    case Topology::kRandomConnected: {
+      // Random spanning tree (each vertex attaches to a random earlier one,
+      // random direction), then extra uniformly random edges.
+      for (std::size_t i = 1; i < n; ++i) {
+        const auto j = static_cast<std::size_t>(rng.below(i));
+        if (rng.chance(0.5)) g.add_edge(v(i), v(j));
+        else g.add_edge(v(j), v(i));
+      }
+      const auto extra =
+          static_cast<std::size_t>(opt.extra_edge_factor * static_cast<double>(n));
+      for (std::size_t e = 0; e < extra && n >= 2; ++e) {
+        const auto a = static_cast<std::size_t>(rng.below(n));
+        auto b = static_cast<std::size_t>(rng.below(n - 1));
+        if (b >= a) ++b;
+        if (!g.has_edge(v(a), v(b))) g.add_edge(v(a), v(b));
+      }
+      break;
+    }
+    case Topology::kLine:
+      for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(v(i), v(i + 1));
+      break;
+    case Topology::kStar:
+      for (std::size_t i = 1; i < n; ++i) g.add_edge(v(i), v(0));
+      break;
+    case Topology::kStarOut:
+      for (std::size_t i = 1; i < n; ++i) g.add_edge(v(0), v(i));
+      break;
+    case Topology::kBinaryTree:
+      for (std::size_t i = 1; i < n; ++i) g.add_edge(v(i), v((i - 1) / 2));
+      break;
+    case Topology::kCycle:
+      for (std::size_t i = 0; i < n && n >= 2; ++i)
+        g.add_edge(v(i), v((i + 1) % n));
+      break;
+    case Topology::kClique:
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if (i != j) g.add_edge(v(i), v(j));
+      break;
+    case Topology::kTwoClusters: {
+      const std::size_t half = n / 2;
+      auto link_cluster = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo + 1; i < hi; ++i) {
+          const auto j = lo + static_cast<std::size_t>(rng.below(i - lo));
+          g.add_edge(v(i), v(j));
+          if (i + 1 < hi && rng.chance(0.5)) g.add_edge(v(j), v(i));
+        }
+      };
+      if (half >= 1) link_cluster(0, half);
+      if (half < n) link_cluster(half, n);
+      if (half >= 1 && half < n) g.add_edge(v(0), v(half));  // single bridge
+      break;
+    }
+  }
+  return g;
+}
+
+std::vector<RingPos> random_ids(util::Rng& rng, std::size_t n) {
+  return util::distinct_u64(rng, n);
+}
+
+Network make_network(const std::vector<RingPos>& ids, const Digraph& initial) {
+  assert(ids.size() == initial.vertex_count());
+  Network net{std::span<const RingPos>(ids)};
+  for (const auto [from, to] : initial.edges())
+    net.add_edge(core::slot_of(from, 0), EdgeKind::kUnmarked,
+                 core::slot_of(to, 0));
+  return net;
+}
+
+Network make_network(Topology t, std::size_t n, util::Rng& rng,
+                     const TopologyOptions& opt) {
+  const auto ids = random_ids(rng, n);
+  return make_network(ids, make_topology(t, n, rng, opt));
+}
+
+void scramble_state(Network& net, util::Rng& rng, const ScrambleOptions& opt) {
+  // Re-mark some existing unmarked edges (weak connectivity counts all
+  // markings, so this stays within the paper's precondition).
+  for (Slot s : net.live_slots()) {
+    const std::vector<Slot> nu = net.edges(s, EdgeKind::kUnmarked);
+    for (Slot t : nu) {
+      if (!rng.chance(opt.remark_probability)) continue;
+      net.remove_edge(s, EdgeKind::kUnmarked, t);
+      net.add_edge(s, rng.chance(0.5) ? EdgeKind::kRing : EdgeKind::kConnection,
+                   t);
+    }
+  }
+  // Pre-activate garbage virtual nodes with arbitrary neighborhoods.
+  const auto owners = net.live_owners();
+  std::vector<Slot> live = net.live_slots();
+  for (auto o : owners) {
+    const int extra = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(opt.max_garbage_virtuals) + 1));
+    for (int k = 0; k < extra; ++k) {
+      const auto idx = 1 + static_cast<std::uint32_t>(
+                               rng.below(core::kSlotsPerOwner - 1));
+      const Slot s = core::slot_of(o, idx);
+      if (net.alive(s)) continue;
+      net.set_alive(s, true);
+      live.push_back(s);
+      for (int e = 0; e < opt.garbage_edges_per_virtual; ++e) {
+        const Slot t = live[static_cast<std::size_t>(rng.below(live.size()))];
+        const auto kind = static_cast<EdgeKind>(rng.below(core::kEdgeKinds));
+        net.add_edge(s, kind, t);
+      }
+    }
+  }
+}
+
+}  // namespace rechord::gen

@@ -1,0 +1,74 @@
+#pragma once
+// Initial-state topology generators. The paper's simulations start from
+// "random undirected weakly connected graphs"; Theorem 1.1 promises recovery
+// from ANY weakly connected state, so we also provide adversarial families
+// (line, star, tree, cycle, clique, two clusters joined by one bridge) and a
+// state scrambler that injects arbitrary edge markings and garbage virtual
+// nodes on top.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network.hpp"
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace rechord::gen {
+
+enum class Topology {
+  kRandomConnected,  // random spanning tree + extra random edges (the paper)
+  kLine,             // directed path sorted by id: worst case for linearization
+  kStar,             // all peers point at one hub
+  kStarOut,          // one hub points at all peers
+  kBinaryTree,       // balanced tree, edges toward the root
+  kCycle,            // one directed cycle in id order
+  kClique,           // complete digraph
+  kTwoClusters,      // two dense clusters joined by a single bridge edge
+};
+
+[[nodiscard]] const char* topology_name(Topology t);
+
+/// All topologies usable in parameterized sweeps.
+[[nodiscard]] std::vector<Topology> all_topologies();
+
+struct TopologyOptions {
+  /// For kRandomConnected: extra random edges as a multiple of n on top of
+  /// the spanning tree (the paper's graphs are sparse; 1.0 is our default).
+  double extra_edge_factor = 1.0;
+};
+
+/// Builds a weakly connected digraph over n >= 1 real peers.
+[[nodiscard]] graph::Digraph make_topology(Topology t, std::size_t n,
+                                           util::Rng& rng,
+                                           const TopologyOptions& opt = {});
+
+/// n distinct identifiers drawn uniformly at random.
+[[nodiscard]] std::vector<core::RingPos> random_ids(util::Rng& rng,
+                                                    std::size_t n);
+
+/// Fresh network with the given ids whose u_0 slots carry the digraph's
+/// edges as unmarked edges (vertex i <-> owner i).
+[[nodiscard]] core::Network make_network(const std::vector<core::RingPos>& ids,
+                                         const graph::Digraph& initial);
+
+/// Convenience: random ids + topology + network in one call.
+[[nodiscard]] core::Network make_network(Topology t, std::size_t n,
+                                         util::Rng& rng,
+                                         const TopologyOptions& opt = {});
+
+struct ScrambleOptions {
+  /// Probability that an existing unmarked edge is re-marked ring/connection.
+  double remark_probability = 0.3;
+  /// Max virtual nodes to pre-activate per peer (with empty or random sets).
+  int max_garbage_virtuals = 8;
+  /// Random extra edges per activated virtual node.
+  int garbage_edges_per_virtual = 2;
+};
+
+/// Fuzzes a network into an arbitrary (still weakly connected) state:
+/// re-marks edges, pre-activates random virtual nodes, adds random edges
+/// between random live slots. Self-stabilization must recover from this.
+void scramble_state(core::Network& net, util::Rng& rng,
+                    const ScrambleOptions& opt = {});
+
+}  // namespace rechord::gen

@@ -1,0 +1,57 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+
+#include "graph/union_find.hpp"
+
+namespace rechord::graph {
+
+std::vector<std::uint32_t> weak_components(const Digraph& g) {
+  UnionFind uf(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u)
+    for (Vertex v : g.out(u)) uf.unite(u, v);
+  std::vector<std::uint32_t> label(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u) label[u] = uf.find(u);
+  return label;
+}
+
+std::size_t weak_component_count(const Digraph& g) {
+  UnionFind uf(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u)
+    for (Vertex v : g.out(u)) uf.unite(u, v);
+  return uf.component_count();
+}
+
+bool weakly_connected(const Digraph& g) {
+  return g.vertex_count() <= 1 || weak_component_count(g) == 1;
+}
+
+bool reachable(const Digraph& g, Vertex from, Vertex to) {
+  if (from == to) return true;
+  std::vector<bool> seen(g.vertex_count(), false);
+  std::queue<Vertex> q;
+  q.push(from);
+  seen[from] = true;
+  while (!q.empty()) {
+    const Vertex u = q.front();
+    q.pop();
+    for (Vertex v : g.out(u)) {
+      if (v == to) return true;
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return false;
+}
+
+bool strongly_connected(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 1) return true;
+  for (Vertex u = 1; u < n; ++u)
+    if (!reachable(g, 0, u) || !reachable(g, u, 0)) return false;
+  return true;
+}
+
+}  // namespace rechord::graph

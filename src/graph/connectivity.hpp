@@ -1,0 +1,29 @@
+#pragma once
+// Connectivity queries over directed graphs. "Weakly connected" treats every
+// edge as undirected -- the paper's precondition for self-stabilization
+// (Theorem 1.1: recovery from any weakly connected state).
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rechord::graph {
+
+/// True when the graph (all edges undirected) has a single component.
+/// The empty graph and the one-vertex graph are connected.
+[[nodiscard]] bool weakly_connected(const Digraph& g);
+
+/// Component label for every vertex under undirected reachability.
+[[nodiscard]] std::vector<std::uint32_t> weak_components(const Digraph& g);
+
+/// Number of weakly connected components.
+[[nodiscard]] std::size_t weak_component_count(const Digraph& g);
+
+/// True when v is reachable from u following edge directions (BFS).
+[[nodiscard]] bool reachable(const Digraph& g, Vertex u, Vertex v);
+
+/// True when every ordered pair is directionally reachable (strong
+/// connectivity); O(n * (n + m)) brute force, fine for test sizes.
+[[nodiscard]] bool strongly_connected(const Digraph& g);
+
+}  // namespace rechord::graph

@@ -1,0 +1,30 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace rechord::graph {
+
+Vertex Digraph::add_vertex() {
+  adjacency_.emplace_back();
+  return static_cast<Vertex>(adjacency_.size() - 1);
+}
+
+void Digraph::add_edge(Vertex u, Vertex v) {
+  adjacency_[u].push_back(v);
+  ++edges_;
+}
+
+bool Digraph::has_edge(Vertex u, Vertex v) const noexcept {
+  const auto& a = adjacency_[u];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_);
+  for (Vertex u = 0; u < adjacency_.size(); ++u)
+    for (Vertex v : adjacency_[u]) out.push_back({u, v});
+  return out;
+}
+
+}  // namespace rechord::graph

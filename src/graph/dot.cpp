@@ -1,0 +1,32 @@
+#include "graph/dot.hpp"
+
+namespace rechord::graph {
+
+void write_dot(std::ostream& out, const Digraph& g, const DotStyle& style) {
+  out << "digraph " << style.graph_name << " {\n";
+  out << "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    out << "  n" << u;
+    out << " [label=\""
+        << (u < style.vertex_labels.size() ? style.vertex_labels[u]
+                                           : std::to_string(u))
+        << "\"";
+    if (u < style.vertex_colors.size() && !style.vertex_colors[u].empty())
+      out << ", style=filled, fillcolor=\"" << style.vertex_colors[u] << "\"";
+    out << "];\n";
+  }
+  std::size_t edge_index = 0;
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    for (Vertex v : g.out(u)) {
+      out << "  n" << u << " -> n" << v;
+      if (edge_index < style.edge_colors.size() &&
+          !style.edge_colors[edge_index].empty())
+        out << " [color=\"" << style.edge_colors[edge_index] << "\"]";
+      out << ";\n";
+      ++edge_index;
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace rechord::graph

@@ -1,0 +1,23 @@
+#pragma once
+// Graphviz DOT export. Used by examples/trace_visualize to render the healing
+// process round by round.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rechord::graph {
+
+struct DotStyle {
+  std::vector<std::string> vertex_labels;  // optional; index = vertex id
+  std::vector<std::string> vertex_colors;  // optional; Graphviz color names
+  std::vector<std::string> edge_colors;    // optional; parallel to edges()
+  std::string graph_name = "G";
+};
+
+/// Writes `g` in DOT format. Missing style entries fall back to defaults.
+void write_dot(std::ostream& out, const Digraph& g, const DotStyle& style = {});
+
+}  // namespace rechord::graph

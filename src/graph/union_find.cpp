@@ -1,0 +1,35 @@
+#include "graph/union_find.hpp"
+
+#include <numeric>
+
+namespace rechord::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0U);
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+std::size_t UnionFind::component_size(std::uint32_t x) noexcept {
+  return size_[find(x)];
+}
+
+}  // namespace rechord::graph

@@ -1,0 +1,38 @@
+#pragma once
+// Disjoint-set forest with union by size and path halving. The workhorse of
+// the weak-connectivity invariants that the paper requires of every initial
+// state and that our tests assert the protocol never breaks.
+
+#include <cstdint>
+#include <vector>
+
+namespace rechord::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of x's component.
+  [[nodiscard]] std::uint32_t find(std::uint32_t x) noexcept;
+
+  /// Merges the components of a and b; returns true if they were distinct.
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept;
+
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_;
+  }
+
+  /// Size of x's component.
+  [[nodiscard]] std::size_t component_size(std::uint32_t x) noexcept;
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace rechord::graph

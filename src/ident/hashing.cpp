@@ -1,0 +1,18 @@
+#include "ident/hashing.hpp"
+
+#include "util/rng.hpp"
+
+namespace rechord::ident {
+
+RingPos hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return util::mix64(h);
+}
+
+RingPos hash_key(std::uint64_t key) noexcept { return util::mix64(key); }
+
+}  // namespace rechord::ident

@@ -1,0 +1,19 @@
+#pragma once
+// Consistent-hashing front end: maps peer names (addresses) to ring
+// positions, the role SHA-1 plays in Chord. Only uniformity matters for the
+// theory, so we use a strong 64-bit string mixer (FNV-1a finished with a
+// splitmix64 avalanche) instead of carrying a SHA-1 implementation.
+
+#include <string_view>
+
+#include "ident/ring_pos.hpp"
+
+namespace rechord::ident {
+
+/// Hash of an arbitrary peer name to a ring position.
+[[nodiscard]] RingPos hash_name(std::string_view name) noexcept;
+
+/// Hash of a 64-bit key (e.g. object id) to a ring position.
+[[nodiscard]] RingPos hash_key(std::uint64_t key) noexcept;
+
+}  // namespace rechord::ident

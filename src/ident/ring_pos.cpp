@@ -1,0 +1,41 @@
+#include "ident/ring_pos.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace rechord::ident {
+
+RingPos pos_from_double(double x) noexcept {
+  // Clamp into [0,1) defensively; callers should already pass canonical ids.
+  if (!(x >= 0.0)) x = 0.0;
+  x = x - std::floor(x);
+  const long double scaled = static_cast<long double>(x) * 18446744073709551616.0L;  // 2^64
+  if (scaled >= 18446744073709551615.0L) return ~0ULL;
+  return static_cast<RingPos>(scaled);
+}
+
+double pos_to_double(RingPos p) noexcept {
+  return static_cast<double>(p) * 0x1.0p-64;
+}
+
+RingPos virtual_pos(RingPos u, int i) noexcept {
+  if (i <= 0) return u;
+  if (i >= kMaxExponent) return u + 1;  // 2^(64-64) = 1 ulp of the ring
+  return u + (RingPos{1} << (kMaxExponent - i));
+}
+
+int exponent_for_gap(RingPos gap) noexcept {
+  if (gap == 0) return kMaxExponent;
+  // gap in [2^(k-1), 2^k) with k = bit_width(gap); we need 64 - m = k - 1.
+  const int k = std::bit_width(gap);
+  return kMaxExponent - k + 1;
+}
+
+std::string pos_to_string(RingPos p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", pos_to_double(p));
+  return buf;
+}
+
+}  // namespace rechord::ident

@@ -1,0 +1,58 @@
+#pragma once
+// The identifier space of Re-Chord: the ring [0,1).
+//
+// The paper assigns every peer a real identifier in [0,1) and places virtual
+// nodes at u + 2^-i (mod 1). We represent a position as a 64-bit fixed-point
+// fraction: RingPos p corresponds to the real number p / 2^64. This makes
+//   * wraparound arithmetic exact (unsigned overflow),
+//   * virtual-node positions exact (u + 2^(64-i)),
+//   * the finger exponent m an integer bit computation, and
+//   * clockwise distances total and exact.
+// All comparisons used by the protocol rules ("<", ">") are comparisons of
+// the LINEAR value in [0,1) as in the paper (the ring is closed separately by
+// ring edges, rule 5), so plain integer comparison of RingPos is correct.
+
+#include <cstdint>
+#include <string>
+
+namespace rechord::ident {
+
+using RingPos = std::uint64_t;
+
+/// Number of virtual-node exponents that exist in a 2^64 space: i in [1,64].
+inline constexpr int kMaxExponent = 64;
+
+/// Converts a real number in [0,1) to a ring position (round toward zero).
+[[nodiscard]] RingPos pos_from_double(double x) noexcept;
+
+/// Converts a ring position to its real value in [0,1).
+[[nodiscard]] double pos_to_double(RingPos p) noexcept;
+
+/// Clockwise (increasing-id, wrapping) distance from a to b: (b - a) mod 2^64.
+[[nodiscard]] constexpr RingPos cw_dist(RingPos a, RingPos b) noexcept {
+  return b - a;  // unsigned wraparound is exactly mod 2^64
+}
+
+/// The paper's interval [u,v]: every w STRICTLY between u and v going
+/// clockwise from u to v (the paper's bracket notation is an open interval;
+/// e.g. 0.2 ∈ [0.8, 0.3] but 0.2 ∉ [0.3, 0.8]). Empty when u == v.
+[[nodiscard]] constexpr bool in_open_interval(RingPos u, RingPos v,
+                                              RingPos w) noexcept {
+  return cw_dist(u, w) != 0 && cw_dist(u, w) < cw_dist(u, v);
+}
+
+/// Position of virtual node u_i = u + 2^-i (mod 1), i in [1,64]; i == 0
+/// returns u itself (u_0 = u in the paper).
+[[nodiscard]] RingPos virtual_pos(RingPos u, int i) noexcept;
+
+/// The stable finger exponent: the unique m with 2^-m <= gap < 2^-(m-1),
+/// where gap > 0 is the clockwise distance to the closest real successor.
+/// This matches the Chord inequality h(v)+1/2^m <= h(succ(v)) <=
+/// h(v)+1/2^(m-1) and the paper's "maximal m such that no real node lies in
+/// [u0, u+1/2^m]". gap == 0 (self) is invalid and returns kMaxExponent.
+[[nodiscard]] int exponent_for_gap(RingPos gap) noexcept;
+
+/// Renders a position as "0.373412" (6 fractional digits) for logs/DOT.
+[[nodiscard]] std::string pos_to_string(RingPos p);
+
+}  // namespace rechord::ident

@@ -1,0 +1,77 @@
+#include "sim/trial.hpp"
+
+namespace rechord::sim {
+
+TrialOutcome run_trial(const TrialConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  gen::TopologyOptions topo_opt;
+  topo_opt.extra_edge_factor = cfg.extra_edge_factor;
+  core::Network net =
+      gen::make_network(cfg.topology, cfg.n, rng, topo_opt);
+  if (cfg.scramble) gen::scramble_state(net, rng);
+
+  core::Engine engine(std::move(net), {.threads = cfg.threads});
+  const core::StableSpec spec = core::StableSpec::compute(engine.network());
+  core::RunOptions run_opt;
+  run_opt.max_rounds = cfg.max_rounds;
+  run_opt.track_series = cfg.track_series;
+
+  TrialOutcome outcome{cfg, core::run_to_stable(engine, spec, run_opt)};
+  return outcome;
+}
+
+SeriesPoint aggregate(const std::vector<TrialOutcome>& outcomes) {
+  SeriesPoint pt;
+  std::vector<double> stable, almost, normal, conn, virt, tnodes, tedges;
+  for (const auto& o : outcomes) {
+    pt.n = o.config.n;
+    ++pt.trials;
+    if (!o.run.stabilized) {
+      ++pt.failed;
+      continue;
+    }
+    stable.push_back(static_cast<double>(o.run.rounds_to_stable));
+    almost.push_back(static_cast<double>(o.run.rounds_to_almost));
+    const auto& mt = o.run.final_metrics;
+    normal.push_back(static_cast<double>(mt.normal_edges()));
+    conn.push_back(static_cast<double>(mt.connection_edges));
+    virt.push_back(static_cast<double>(mt.virtual_nodes));
+    tnodes.push_back(static_cast<double>(mt.total_nodes()));
+    tedges.push_back(static_cast<double>(mt.total_edges()));
+  }
+  pt.rounds_stable = util::summarize(std::move(stable));
+  pt.rounds_almost = util::summarize(std::move(almost));
+  pt.normal_edges = util::summarize(std::move(normal));
+  pt.connection_edges = util::summarize(std::move(conn));
+  pt.virtual_nodes = util::summarize(std::move(virt));
+  pt.total_nodes = util::summarize(std::move(tnodes));
+  pt.total_edges = util::summarize(std::move(tedges));
+  return pt;
+}
+
+std::vector<TrialOutcome> run_batch(const TrialConfig& base,
+                                    std::size_t trials) {
+  std::vector<TrialOutcome> outcomes;
+  outcomes.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    TrialConfig cfg = base;
+    cfg.seed = base.seed + t;
+    outcomes.push_back(run_trial(cfg));
+  }
+  return outcomes;
+}
+
+std::vector<SeriesPoint> run_series(const TrialConfig& base,
+                                    const std::vector<std::size_t>& sizes,
+                                    std::size_t trials) {
+  std::vector<SeriesPoint> series;
+  series.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    TrialConfig cfg = base;
+    cfg.n = n;
+    series.push_back(aggregate(run_batch(cfg, trials)));
+  }
+  return series;
+}
+
+}  // namespace rechord::sim

@@ -1,0 +1,64 @@
+#pragma once
+// Experiment harness: one "trial" = generate an initial state, run the
+// protocol to the fixpoint, measure. The paper's figures average 30 trials
+// per network size; `run_series` reproduces that sweep.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "gen/topologies.hpp"
+#include "util/stats.hpp"
+
+namespace rechord::sim {
+
+struct TrialConfig {
+  std::size_t n = 25;
+  std::uint64_t seed = 1;
+  gen::Topology topology = gen::Topology::kRandomConnected;
+  double extra_edge_factor = 1.0;
+  /// Fuzz the initial state into an arbitrary weakly connected state
+  /// (random markings + garbage virtual nodes) before running.
+  bool scramble = false;
+  unsigned threads = 1;
+  std::uint64_t max_rounds = 1'000'000;
+  bool track_series = false;
+};
+
+struct TrialOutcome {
+  TrialConfig config;
+  core::RunResult run;
+};
+
+/// Generates the initial state for `cfg` (deterministic in cfg.seed) and
+/// runs it to the fixpoint.
+[[nodiscard]] TrialOutcome run_trial(const TrialConfig& cfg);
+
+/// Aggregated measurements over the trials of one network size -- exactly
+/// the per-size quantities plotted in Figures 5 and 6.
+struct SeriesPoint {
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  std::size_t failed = 0;  // trials that hit max_rounds (expected: 0)
+  util::Summary rounds_stable;
+  util::Summary rounds_almost;
+  util::Summary normal_edges;
+  util::Summary connection_edges;
+  util::Summary virtual_nodes;
+  util::Summary total_nodes;
+  util::Summary total_edges;
+};
+
+[[nodiscard]] SeriesPoint aggregate(const std::vector<TrialOutcome>& outcomes);
+
+/// Runs `trials` seeded trials of `base` (seeds base.seed, base.seed+1, ...)
+/// for each size in `sizes`.
+[[nodiscard]] std::vector<SeriesPoint> run_series(
+    const TrialConfig& base, const std::vector<std::size_t>& sizes,
+    std::size_t trials);
+
+/// The individual outcomes behind one size (for scatter output, Figure 7).
+[[nodiscard]] std::vector<TrialOutcome> run_batch(const TrialConfig& base,
+                                                  std::size_t trials);
+
+}  // namespace rechord::sim

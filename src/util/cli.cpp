@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace rechord::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another option or absent.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      kv_[arg] = argv[++i];
+    } else {
+      kv_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& key, std::vector<std::int64_t> fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end() || it->second.empty()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    auto comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start)
+      out.push_back(std::strtoll(s.substr(start, comma - start).c_str(),
+                                 nullptr, 10));
+    start = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace rechord::util

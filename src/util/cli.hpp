@@ -1,0 +1,40 @@
+#pragma once
+// Tiny command-line parser for the bench/example binaries.
+// Supports `--flag`, `--key value` and `--key=value`; anything else is kept
+// as a positional argument. Unknown keys are allowed (benches share a parser
+// but consume different subsets).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rechord::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// Comma-separated integer list, e.g. --sizes 5,15,25.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key, std::vector<std::int64_t> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rechord::util

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace rechord::util {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  row();
+  for (const auto& c : columns) cell(c);
+  finish();
+}
+
+CsvWriter& CsvWriter::row() {
+  finish();
+  row_open_ = true;
+  cell_written_ = false;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  if (!row_open_) row();
+  if (cell_written_) *out_ << ',';
+  *out_ << escape(text);
+  cell_written_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return cell(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return cell(std::string_view(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return cell(std::string_view(buf));
+}
+
+void CsvWriter::finish() {
+  if (row_open_) {
+    *out_ << '\n';
+    row_open_ = false;
+    cell_written_ = false;
+  }
+}
+
+}  // namespace rechord::util

@@ -1,0 +1,45 @@
+#pragma once
+// Minimal CSV writer for exporting bench series (one row per measurement).
+// Fields containing commas/quotes/newlines are quoted per RFC 4180.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rechord::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Call at most once, before any data row.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begins a fresh row; previous row (if open) is terminated first.
+  CsvWriter& row();
+
+  /// Appends one cell to the current row.
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(double v, int digits = 6);
+  CsvWriter& cell(std::int64_t v);
+  CsvWriter& cell(std::uint64_t v);
+
+  /// Terminates the current row (also done automatically by row()/dtor).
+  void finish();
+
+  ~CsvWriter() { finish(); }
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Escapes a single field per RFC 4180 (exposed for testing).
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool cell_written_ = false;
+};
+
+}  // namespace rechord::util

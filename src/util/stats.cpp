@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rechord::util {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile_sorted(const std::vector<double>& sorted,
+                         double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  OnlineStats on;
+  for (double x : xs) on.add(x);
+  std::sort(xs.begin(), xs.end());
+  s.count = on.count();
+  s.mean = on.mean();
+  s.stddev = on.stddev();
+  s.min = on.min();
+  s.max = on.max();
+  s.p50 = percentile_sorted(xs, 0.50);
+  s.p90 = percentile_sorted(xs, 0.90);
+  s.p99 = percentile_sorted(xs, 0.99);
+  return s;
+}
+
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double nd = static_cast<double>(n);
+  const double denom = nd * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (nd * sxy - sx * sy) / denom;
+}
+
+double powerlaw_exponent(const std::vector<double>& x,
+                         const std::vector<double>& y) noexcept {
+  std::vector<double> lx, ly;
+  const std::size_t n = std::min(x.size(), y.size());
+  lx.reserve(n);
+  ly.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  return linear_slope(lx, ly);
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace rechord::util

@@ -1,0 +1,65 @@
+#pragma once
+// Small statistics toolkit used by the experiment harness: online summaries
+// (Welford), percentiles, and linear-fit helpers used to report empirical
+// scaling exponents next to the paper's asymptotic claims.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rechord::util {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a full sample (kept for percentile queries).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarize a sample; copies and sorts internally. Empty input -> zeros.
+[[nodiscard]] Summary summarize(std::vector<double> xs);
+
+/// Nearest-rank percentile of a *sorted* sample, q in [0,1].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q) noexcept;
+
+/// Least-squares slope of y against x. Used to fit log-log scaling curves.
+/// Returns 0 when fewer than two points or degenerate x.
+[[nodiscard]] double linear_slope(const std::vector<double>& x,
+                                  const std::vector<double>& y) noexcept;
+
+/// Fits y = c * x^a via log-log least squares and returns the exponent a.
+/// All inputs must be positive; non-positive pairs are skipped.
+[[nodiscard]] double powerlaw_exponent(const std::vector<double>& x,
+                                       const std::vector<double>& y) noexcept;
+
+/// "12.34" style fixed formatting without <iomanip> at call sites.
+[[nodiscard]] std::string fixed(double v, int digits = 2);
+
+}  // namespace rechord::util

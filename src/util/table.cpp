@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/stats.hpp"
+
+namespace rechord::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row_numeric(const std::vector<double>& cells, int digits) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(fixed(v, digits));
+  add_row(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_cell = [&](const std::string& text, std::size_t c,
+                        bool right_align) {
+    const std::size_t pad = width[c] - text.size();
+    if (right_align) out << std::string(pad, ' ') << text;
+    else out << text << std::string(pad, ' ');
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << "  ";
+    print_cell(columns_[c], c, false);
+  }
+  out << '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out << "  ";
+      print_cell(row[c], c, looks_numeric(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace rechord::util

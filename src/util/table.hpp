@@ -1,0 +1,32 @@
+#pragma once
+// ASCII table renderer for bench output. Every figure-reproduction bench
+// prints the paper's data series as one of these tables so the "rows/series
+// the paper reports" are readable directly in the terminal.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rechord::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_numeric(const std::vector<double>& cells, int digits = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, padded columns, and right-aligned numerics.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rechord::util

@@ -1,0 +1,201 @@
+// Membership-change tests (paper §4): joins re-stabilize in O(log^2 n)
+// rounds, graceful leaves and crash failures in O(log n) -- we assert
+// generous constants over those shapes -- and the result is always the exact
+// stable topology for the new peer set.
+
+#include "core/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+Engine stable_engine(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Engine engine(gen::make_network(gen::Topology::kRandomConnected, n, rng),
+                {});
+  const auto spec = StableSpec::compute(engine.network());
+  RunOptions opt;
+  opt.max_rounds = 100000;
+  EXPECT_TRUE(run_to_stable(engine, spec, opt).stabilized);
+  return engine;
+}
+
+std::uint64_t resettle(Engine& engine, std::uint64_t cap = 100000) {
+  engine.reset_change_tracking();
+  const auto spec = StableSpec::compute(engine.network());
+  RunOptions opt;
+  opt.max_rounds = cap;
+  const auto result = run_to_stable(engine, spec, opt);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+  return result.rounds_to_stable;
+}
+
+TEST(Join, NewPeerIntegratesExactly) {
+  Engine engine = stable_engine(16, 1);
+  util::Rng rng(99);
+  const RingPos id = rng.next();
+  const auto contact = engine.network().live_owners().front();
+  join(engine.network(), id, contact);
+  EXPECT_EQ(engine.network().alive_owner_count(), 17U);
+  resettle(engine);
+}
+
+TEST(Join, WorksFromAnyContact) {
+  for (std::uint64_t pick : {0ULL, 5ULL, 15ULL}) {
+    Engine engine = stable_engine(16, 2);
+    util::Rng rng(100 + pick);
+    const auto owners = engine.network().live_owners();
+    join(engine.network(), rng.next(), owners[pick]);
+    resettle(engine);
+  }
+}
+
+TEST(Join, SmallestAndLargestIdsIntegrate) {
+  Engine engine = stable_engine(12, 3);
+  const auto contact = engine.network().live_owners().front();
+  join(engine.network(), RingPos{1}, contact);  // near-zero id
+  resettle(engine);
+  join(engine.network(), ~RingPos{1}, contact);  // near-one id
+  resettle(engine);
+}
+
+TEST(Join, RoundsPolylogNotLinear) {
+  // Theorem 4.1: O(log^2 n). Assert a generous c * (log2 n)^2 + c bound,
+  // which a linear-cost join would blow past at these sizes.
+  for (const std::size_t n : {16UL, 64UL}) {
+    Engine engine = stable_engine(n, 4);
+    util::Rng rng(4242 + n);
+    const auto contact = engine.network().live_owners().back();
+    join(engine.network(), rng.next(), contact);
+    const std::uint64_t rounds = resettle(engine);
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_LE(rounds, 8.0 * lg * lg + 40.0) << "n=" << n;
+  }
+}
+
+TEST(Join, SequentialJoinsKeepStabilizing) {
+  Engine engine = stable_engine(8, 5);
+  util::Rng rng(55);
+  for (int i = 0; i < 5; ++i) {
+    const auto owners = engine.network().live_owners();
+    join(engine.network(), rng.next(),
+         owners[rng.below(owners.size())]);
+    resettle(engine);
+  }
+  EXPECT_EQ(engine.network().alive_owner_count(), 13U);
+}
+
+TEST(Leave, GracefulLeaveRestabilizes) {
+  Engine engine = stable_engine(16, 6);
+  const auto owners = engine.network().live_owners();
+  leave_gracefully(engine.network(), owners[owners.size() / 2]);
+  EXPECT_EQ(engine.network().alive_owner_count(), 15U);
+  ASSERT_TRUE(testing::weakly_connected(engine.network()));
+  resettle(engine);
+}
+
+TEST(Leave, GracefulLeavePreservesConnectivity) {
+  Engine engine = stable_engine(10, 7);
+  for (int i = 0; i < 3; ++i) {
+    const auto owners = engine.network().live_owners();
+    leave_gracefully(engine.network(), owners[owners.size() / 2]);
+    ASSERT_TRUE(testing::weakly_connected(engine.network()));
+    resettle(engine);
+  }
+  EXPECT_EQ(engine.network().alive_owner_count(), 7U);
+}
+
+TEST(Leave, RoundsLogarithmicShape) {
+  // Theorem 4.2: O(log n) after a leave.
+  for (const std::size_t n : {16UL, 64UL}) {
+    Engine engine = stable_engine(n, 8);
+    const auto owners = engine.network().live_owners();
+    leave_gracefully(engine.network(), owners[owners.size() / 3]);
+    const std::uint64_t rounds = resettle(engine);
+    const double lg = std::log2(static_cast<double>(n));
+    EXPECT_LE(rounds, 10.0 * lg + 30.0) << "n=" << n;
+  }
+}
+
+TEST(Crash, FailedPeerVanishesAndNetworkHeals) {
+  Engine engine = stable_engine(16, 9);
+  const auto owners = engine.network().live_owners();
+  crash(engine.network(), owners[3]);
+  EXPECT_EQ(engine.network().alive_owner_count(), 15U);
+  // A crash can only be healed if what remains is still weakly connected;
+  // in a stable Re-Chord network the remaining edges keep it so.
+  ASSERT_TRUE(testing::weakly_connected(engine.network()));
+  resettle(engine);
+}
+
+TEST(Crash, ExtremePeerCrashRecovers) {
+  // Crash the owner of the global maximum node (holds a ring edge).
+  Engine engine = stable_engine(12, 10);
+  const auto spec = StableSpec::compute(engine.network());
+  crash(engine.network(), owner_of(spec.max_node()));
+  ASSERT_TRUE(testing::weakly_connected(engine.network()));
+  resettle(engine);
+}
+
+TEST(Crash, MultipleCrashesRecover) {
+  Engine engine = stable_engine(20, 11);
+  util::Rng rng(77);
+  for (int i = 0; i < 4; ++i) {
+    const auto owners = engine.network().live_owners();
+    crash(engine.network(), owners[rng.below(owners.size())]);
+    if (!testing::weakly_connected(engine.network())) {
+      GTEST_SKIP() << "crash partitioned the network (outside the theorem's "
+                      "preconditions)";
+    }
+    resettle(engine);
+  }
+}
+
+TEST(Churn, MixedWorkload) {
+  Engine engine = stable_engine(12, 12);
+  util::Rng rng(13);
+  for (int i = 0; i < 8; ++i) {
+    const auto owners = engine.network().live_owners();
+    const auto pick = owners[rng.below(owners.size())];
+    switch (rng.below(3)) {
+      case 0:
+        join(engine.network(), rng.next(), pick);
+        break;
+      case 1:
+        if (owners.size() > 4) leave_gracefully(engine.network(), pick);
+        break;
+      default:
+        if (owners.size() > 4) {
+          crash(engine.network(), pick);
+          if (!testing::weakly_connected(engine.network()))
+            GTEST_SKIP() << "partitioned by crash";
+        }
+        break;
+    }
+    resettle(engine);
+  }
+}
+
+TEST(Churn, JoinDuringConvergenceStillStabilizes) {
+  // Join while the network is still healing -- not covered by Theorem 4.1's
+  // "stable network" precondition, but self-stabilization absorbs it.
+  util::Rng rng(14);
+  Engine engine(gen::make_network(gen::Topology::kLine, 12, rng), {});
+  for (int r = 0; r < 3; ++r) engine.step();
+  join(engine.network(), rng.next(),
+       engine.network().live_owners().front());
+  resettle(engine);
+}
+
+}  // namespace
+}  // namespace rechord::core

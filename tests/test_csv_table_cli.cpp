@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace rechord::util {
+namespace {
+
+// ---------------------------------------------------------------- CSV
+
+TEST(Csv, EscapePlainFieldUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(Csv, EscapeComma) { EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\""); }
+
+TEST(Csv, EscapeQuote) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapeNewline) { EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\""); }
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  {
+    CsvWriter w(out);
+    w.header({"n", "rounds"});
+    w.row().cell(std::int64_t{5}).cell(12.5, 3);
+    w.row().cell(std::int64_t{15}).cell(std::uint64_t{20});
+  }
+  EXPECT_EQ(out.str(), "n,rounds\n5,12.5\n15,20\n");
+}
+
+TEST(Csv, FinishIsIdempotent) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row().cell("a");
+  w.finish();
+  w.finish();
+  EXPECT_EQ(out.str(), "a\n");
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, RendersHeaderAndAlignment) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"b", "23.50"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // numeric column right-aligned: "23.50" ends the line, " 1.00" is padded.
+  EXPECT_NE(s.find(" 1.00"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_EQ(t.rows(), 1U);
+  EXPECT_NE(out.str().find('x'), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.234, 5.678}, 1);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.2"), std::string::npos);
+  EXPECT_NE(out.str().find("5.7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- CLI
+
+TEST(Cli, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--n", "25", "--seed=7", "--flag"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 25);
+  EXPECT_EQ(cli.get_int("seed", 0), 7);
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("n", 42), 42);
+  EXPECT_EQ(cli.get("name", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 1.5), 1.5);
+}
+
+TEST(Cli, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--k", "3", "out.txt"};
+  const Cli cli(5, argv);
+  ASSERT_EQ(cli.positional().size(), 2U);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "out.txt");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, IntegerList) {
+  const char* argv[] = {"prog", "--sizes", "5,15,25"};
+  const Cli cli(3, argv);
+  const auto v = cli.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3U);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[2], 25);
+}
+
+TEST(Cli, IntegerListFallback) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  const auto v = cli.get_int_list("sizes", {1, 2});
+  ASSERT_EQ(v.size(), 2U);
+}
+
+TEST(Cli, DoubleValues) {
+  const char* argv[] = {"prog", "--p=0.25"};
+  const Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace rechord::util

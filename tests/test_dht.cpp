@@ -1,0 +1,267 @@
+// Tests for the DHT key-value layer on top of stabilized Re-Chord: routing,
+// responsibility, replication, and the data plane of churn (migration on
+// join, handoff on leave, loss + re-replication on crash).
+
+#include "dht/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "gen/topologies.hpp"
+#include "ident/hashing.hpp"
+#include "test_util.hpp"
+
+namespace rechord::dht {
+namespace {
+
+core::Engine stable_engine(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  core::Engine engine(
+      gen::make_network(gen::Topology::kRandomConnected, n, rng), {});
+  const auto spec = core::StableSpec::compute(engine.network());
+  EXPECT_TRUE(core::run_to_stable(engine, spec, {}).stabilized);
+  return engine;
+}
+
+void resettle(core::Engine& engine) {
+  engine.reset_change_tracking();
+  const auto spec = core::StableSpec::compute(engine.network());
+  ASSERT_TRUE(core::run_to_stable(engine, spec, {}).stabilized);
+}
+
+TEST(RoutingView, ResponsibleIsClockwiseSuccessor) {
+  auto engine = stable_engine(16, 1);
+  const auto view = RoutingView::snapshot(engine.network());
+  const core::RingPos h = ident::hash_name("some-key");
+  const std::uint32_t owner = view.responsible(h);
+  // No live peer lies strictly between h and the responsible peer.
+  const core::RingPos d =
+      ident::cw_dist(h, engine.network().owner_pos(owner));
+  for (auto o : engine.network().live_owners())
+    EXPECT_GE(ident::cw_dist(h, engine.network().owner_pos(o)), d);
+}
+
+TEST(RoutingView, ReplicaSetDistinctAndOrdered) {
+  auto engine = stable_engine(12, 2);
+  const auto view = RoutingView::snapshot(engine.network());
+  const auto set = view.replica_set(ident::hash_name("k"), 4);
+  ASSERT_EQ(set.size(), 4U);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    for (std::size_t j = i + 1; j < set.size(); ++j)
+      EXPECT_NE(set[i], set[j]);
+  EXPECT_EQ(set[0], view.responsible(ident::hash_name("k")));
+}
+
+TEST(RoutingView, ReplicaSetCappedByPeerCount) {
+  auto engine = stable_engine(3, 3);
+  const auto view = RoutingView::snapshot(engine.network());
+  EXPECT_EQ(view.replica_set(ident::hash_name("k"), 8).size(), 3U);
+}
+
+TEST(KvStore, PutGetRoundTrip) {
+  auto engine = stable_engine(16, 4);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  const auto put = kv.put(view, "alpha", "1", 0);
+  ASSERT_TRUE(put.ok);
+  const auto get = kv.get(view, "alpha", 5);
+  ASSERT_TRUE(get.found);
+  EXPECT_EQ(get.value, "1");
+  EXPECT_FALSE(get.from_replica);
+}
+
+TEST(KvStore, GetMissingKey) {
+  auto engine = stable_engine(8, 5);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  EXPECT_FALSE(kv.get(view, "nope", 0).found);
+}
+
+TEST(KvStore, OverwriteKeepsLatestValue) {
+  auto engine = stable_engine(8, 6);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  ASSERT_TRUE(kv.put(view, "k", "old", 0).ok);
+  ASSERT_TRUE(kv.put(view, "k", "new", 3).ok);
+  EXPECT_EQ(kv.get(view, "k", 1).value, "new");
+  EXPECT_EQ(kv.total_records(), 1U);
+}
+
+TEST(KvStore, EraseRemovesAllCopies) {
+  auto engine = stable_engine(8, 7);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv({.replicas = 3});
+  ASSERT_TRUE(kv.put(view, "k", "v", 0).ok);
+  EXPECT_EQ(kv.total_records(), 3U);
+  EXPECT_TRUE(kv.erase(view, "k", 2));
+  EXPECT_EQ(kv.total_records(), 0U);
+  EXPECT_FALSE(kv.get(view, "k", 0).found);
+  EXPECT_FALSE(kv.erase(view, "k", 0));
+}
+
+TEST(KvStore, RecordsLandOnResponsiblePeer) {
+  auto engine = stable_engine(16, 8);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  const auto put = kv.put(view, "where", "v", 0);
+  EXPECT_EQ(put.home_owner, view.responsible(ident::hash_name("where")));
+  EXPECT_EQ(kv.records_on(put.home_owner), 1U);
+}
+
+TEST(KvStore, HopsAreLogarithmic) {
+  auto engine = stable_engine(64, 9);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  util::Rng rng(99);
+  std::size_t worst = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto from = static_cast<std::uint32_t>(rng.below(64));
+    const auto put = kv.put(view, "key-" + std::to_string(i), "v", from);
+    ASSERT_TRUE(put.ok);
+    worst = std::max(worst, put.hops);
+  }
+  EXPECT_LE(worst, 4 * 6U);  // 4 * log2(64)
+}
+
+TEST(KvStore, KeysSpreadAcrossPeers) {
+  auto engine = stable_engine(16, 10);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv;
+  for (int i = 0; i < 200; ++i)
+    ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  std::size_t loaded_peers = 0;
+  for (auto o : engine.network().live_owners())
+    loaded_peers += kv.records_on(o) > 0;
+  EXPECT_GE(loaded_peers, 10U);  // consistent hashing balances
+}
+
+TEST(KvStore, JoinMigratesArc) {
+  auto engine = stable_engine(12, 11);
+  KvStore kv;
+  {
+    const auto view = RoutingView::snapshot(engine.network());
+    for (int i = 0; i < 100; ++i)
+      ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  }
+  util::Rng rng(1234);
+  const auto newbie = core::join(engine.network(), rng.next(),
+                                 engine.network().live_owners().front());
+  resettle(engine);
+  const auto view = RoutingView::snapshot(engine.network());
+  const auto moved = kv.rebalance(view);
+  // The newcomer owns a 1/13 arc in expectation; with 100 keys it should
+  // usually receive some -- and every key must sit on its responsible peer.
+  (void)moved;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto home = view.responsible(ident::hash_name(key));
+    const auto get = kv.get(view, key, newbie);
+    ASSERT_TRUE(get.found) << key;
+    EXPECT_EQ(kv.records_on(home) > 0, true);
+  }
+  EXPECT_TRUE(kv.lost_keys(view).empty());
+}
+
+TEST(KvStore, GracefulLeaveHandsOffData) {
+  auto engine = stable_engine(12, 12);
+  KvStore kv;
+  {
+    const auto view = RoutingView::snapshot(engine.network());
+    for (int i = 0; i < 80; ++i)
+      ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  }
+  const auto owners = engine.network().live_owners();
+  const auto leaver = owners[owners.size() / 2];
+  {
+    const auto view = RoutingView::snapshot(engine.network());
+    kv.handoff(view, leaver);
+  }
+  core::leave_gracefully(engine.network(), leaver);
+  resettle(engine);
+  const auto view = RoutingView::snapshot(engine.network());
+  kv.rebalance(view);
+  for (int i = 0; i < 80; ++i)
+    EXPECT_TRUE(kv.get(view, "key-" + std::to_string(i), view.proj.owners[0])
+                    .found)
+        << i;
+  EXPECT_TRUE(kv.lost_keys(view).empty());
+}
+
+TEST(KvStore, CrashLosesUnreplicatedKeys) {
+  auto engine = stable_engine(12, 13);
+  KvStore kv;  // replicas = 1
+  {
+    const auto view = RoutingView::snapshot(engine.network());
+    for (int i = 0; i < 120; ++i)
+      ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  }
+  const auto owners = engine.network().live_owners();
+  const auto victim = owners[3];
+  const auto victim_records = kv.records_on(victim);
+  kv.drop(victim);
+  core::crash(engine.network(), victim);
+  ASSERT_TRUE(testing::weakly_connected(engine.network()));
+  resettle(engine);
+  const auto view = RoutingView::snapshot(engine.network());
+  kv.rebalance(view);
+  EXPECT_EQ(kv.lost_keys(view).size(), victim_records);
+}
+
+TEST(KvStore, ReplicationSurvivesCrash) {
+  auto engine = stable_engine(12, 14);
+  KvStore kv({.replicas = 3});
+  {
+    const auto view = RoutingView::snapshot(engine.network());
+    for (int i = 0; i < 120; ++i)
+      ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  }
+  const auto owners = engine.network().live_owners();
+  const auto victim = owners[5];
+  kv.drop(victim);
+  core::crash(engine.network(), victim);
+  ASSERT_TRUE(testing::weakly_connected(engine.network()));
+  resettle(engine);
+  const auto view = RoutingView::snapshot(engine.network());
+  EXPECT_TRUE(kv.lost_keys(view).empty());  // survivors still hold copies
+  kv.rebalance(view);                       // restore the replication factor
+  for (int i = 0; i < 120; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_EQ(view.replica_set(ident::hash_name(key), 3).size(), 3U);
+    EXPECT_TRUE(kv.get(view, key, view.proj.owners[0]).found);
+  }
+}
+
+TEST(KvStore, RebalanceIsIdempotent) {
+  auto engine = stable_engine(10, 15);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv({.replicas = 2});
+  for (int i = 0; i < 40; ++i)
+    ASSERT_TRUE(kv.put(view, "key-" + std::to_string(i), "v", 0).ok);
+  kv.rebalance(view);
+  EXPECT_EQ(kv.rebalance(view), 0U);  // second pass moves nothing
+}
+
+TEST(KvStore, GetFromReplicaAfterPrimaryDrop) {
+  auto engine = stable_engine(10, 16);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv({.replicas = 2});
+  ASSERT_TRUE(kv.put(view, "k", "v", 0).ok);
+  const auto home = view.responsible(ident::hash_name("k"));
+  kv.drop(home);  // primary lost, replica remains (no churn)
+  const auto get = kv.get(view, "k", view.proj.owners[0]);
+  ASSERT_TRUE(get.found);
+  EXPECT_TRUE(get.from_replica);
+}
+
+TEST(KvStore, SinglePeerDegenerateStore) {
+  auto engine = stable_engine(1, 17);
+  const auto view = RoutingView::snapshot(engine.network());
+  KvStore kv({.replicas = 3});
+  ASSERT_TRUE(kv.put(view, "k", "v", engine.network().live_owners()[0]).ok);
+  EXPECT_EQ(kv.total_records(), 1U);  // replica set capped at one peer
+  EXPECT_TRUE(kv.get(view, "k", engine.network().live_owners()[0]).found);
+}
+
+}  // namespace
+}  // namespace rechord::dht

@@ -1,0 +1,148 @@
+// Engine-semantics tests: the synchronous message-passing model of §2.1.
+// Delayed assignments are delivered exactly at the end of the round,
+// messages to deleted virtual nodes are absorbed by the owner's u_m,
+// duplicate ops collapse, and runs are bit-reproducible.
+
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/convergence.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+using testing::make_net;
+
+TEST(Engine, MeasureCountsCurrentState) {
+  auto net = make_net({0.1, 0.6});
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  net.add_edge(slot_of(1, 0), EdgeKind::kRing, slot_of(0, 0));
+  Engine engine(std::move(net), {});
+  const auto mt = engine.measure();
+  EXPECT_EQ(mt.real_nodes, 2U);
+  EXPECT_EQ(mt.virtual_nodes, 0U);
+  EXPECT_EQ(mt.unmarked_edges, 1U);
+  EXPECT_EQ(mt.ring_edges, 1U);
+  EXPECT_EQ(mt.normal_edges(), 2U);
+  EXPECT_EQ(mt.round, 0U);
+}
+
+TEST(Engine, StepIncrementsRoundCounter) {
+  Engine engine(make_net({0.1, 0.6}), {});
+  EXPECT_EQ(engine.rounds_executed(), 0U);
+  engine.step();
+  engine.step();
+  EXPECT_EQ(engine.rounds_executed(), 2U);
+}
+
+TEST(Engine, MirrorDeliveredNextRound) {
+  // 0.1 knows 0.6; mirroring tells 0.6 about 0.1 -- but 0.6 may only see
+  // that edge from the next round on (delayed assignment).
+  auto net = make_net({0.1, 0.6});
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  Engine engine(std::move(net), {});
+  EXPECT_FALSE(engine.network().has_edge(slot_of(1, 0), EdgeKind::kUnmarked,
+                                         slot_of(0, 0)));
+  engine.step();  // commit delivers the mirror
+  EXPECT_TRUE(engine.network().has_edge(slot_of(1, 0), EdgeKind::kUnmarked,
+                                        slot_of(0, 0)));
+}
+
+TEST(Engine, FirstRoundCreatesVirtualNodes) {
+  auto net = make_net({0.1, 0.4});
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  Engine engine(std::move(net), {});
+  engine.step();
+  // gap 0.3 -> m = 2 for owner 0; owner 1 knows nobody yet -> m = 1.
+  EXPECT_TRUE(engine.network().alive(slot_of(0, 1)));
+  EXPECT_TRUE(engine.network().alive(slot_of(0, 2)));
+  EXPECT_FALSE(engine.network().alive(slot_of(0, 3)));
+  EXPECT_TRUE(engine.network().alive(slot_of(1, 1)));
+}
+
+TEST(Engine, MessagesToDeletedVirtualsAbsorbedByOwner) {
+  // Owner 1 has a garbage virtual at index 9 that rule 1 will delete in the
+  // first round; owner 0 points at it. After the round, owner 0's reference
+  // must have been re-homed to a live slot of owner 1 (never dangling).
+  auto net = make_net({0.1, 0.4});
+  const Slot ghost = slot_of(1, 9);
+  net.set_alive(ghost, true);
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, ghost);
+  net.add_edge(ghost, EdgeKind::kUnmarked, slot_of(0, 0));
+  Engine engine(std::move(net), {});
+  for (int r = 0; r < 3; ++r) {
+    engine.step();
+    EXPECT_FALSE(engine.network().alive(ghost));
+    for (Slot s : engine.network().live_slots())
+      for (int k = 0; k < kEdgeKinds; ++k)
+        for (Slot t : engine.network().edges(s, static_cast<EdgeKind>(k)))
+          EXPECT_TRUE(engine.network().alive(t))
+              << "dangling edge to " << engine.network().describe(t);
+  }
+}
+
+TEST(Engine, RunsAreBitReproducible) {
+  for (unsigned threads : {1U, 3U}) {
+    util::Rng rng_a(5), rng_b(5);
+    Engine a(gen::make_network(gen::Topology::kRandomConnected, 40, rng_a),
+             {.threads = threads});
+    Engine b(gen::make_network(gen::Topology::kRandomConnected, 40, rng_b),
+             {.threads = threads});
+    for (int r = 0; r < 25; ++r) {
+      a.step();
+      b.step();
+      ASSERT_EQ(a.network().serialize_state(), b.network().serialize_state());
+    }
+  }
+}
+
+TEST(Engine, ChangedFlagFalseOnlyAtFixpoint) {
+  util::Rng rng(6);
+  Engine engine(gen::make_network(gen::Topology::kRandomConnected, 10, rng),
+                {});
+  const auto spec = StableSpec::compute(engine.network());
+  bool seen_unchanged = false;
+  for (int r = 0; r < 500; ++r) {
+    const auto mt = engine.step();
+    if (!mt.changed) {
+      seen_unchanged = true;
+      // From here on the spec must hold exactly.
+      EXPECT_TRUE(spec.exact_match(engine.network()));
+      break;
+    }
+  }
+  EXPECT_TRUE(seen_unchanged);
+}
+
+TEST(Engine, EmptyNetworkStepIsStable) {
+  std::vector<RingPos> no_ids;
+  Engine engine(Network{std::span<const RingPos>(no_ids)}, {});
+  const auto mt = engine.step();
+  EXPECT_FALSE(mt.changed);
+  EXPECT_EQ(mt.total_nodes(), 0U);
+}
+
+TEST(Engine, ZeroThreadsNormalizedToOne) {
+  Engine engine(make_net({0.1}), {.threads = 0});
+  EXPECT_NO_FATAL_FAILURE(engine.step());
+}
+
+TEST(Engine, ActivityResetEachRound) {
+  util::Rng rng(7);
+  Engine engine(gen::make_network(gen::Topology::kRandomConnected, 12, rng),
+                {});
+  engine.step();
+  const auto first = engine.last_activity().virtuals_created;
+  EXPECT_GT(first, 0U);
+  engine.step();
+  // Virtual creation collapses after round 1 (only newly discovered closer
+  // reals add slots) -- the counter must not accumulate across rounds.
+  EXPECT_LT(engine.last_activity().virtuals_created, first);
+}
+
+}  // namespace
+}  // namespace rechord::core

@@ -1,0 +1,168 @@
+// Fault-injection tests (beyond the paper's model): the protocol under
+// partial activation (asynchrony) still reaches the desired topology, fault
+// schedules are deterministic, and message loss degrades gracefully.
+
+#include <gtest/gtest.h>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+Network fresh(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return gen::make_network(gen::Topology::kRandomConnected, n, rng);
+}
+
+// Rounds until the almost-stable state (all desired edges present) under a
+// possibly faulty engine; cap+1 when never reached.
+std::uint64_t rounds_to_almost(Engine& engine, const StableSpec& spec,
+                               std::uint64_t cap) {
+  for (std::uint64_t r = 1; r <= cap; ++r) {
+    engine.step();
+    if (spec.almost_stable(engine.network())) return r;
+  }
+  return cap + 1;
+}
+
+TEST(Asynchrony, PartialActivationStillConverges) {
+  for (double sleep_p : {0.2, 0.5, 0.7}) {
+    Engine engine(fresh(16, 1),
+                  {.sleep_probability = sleep_p, .fault_seed = 7});
+    const auto spec = StableSpec::compute(engine.network());
+    const auto rounds = rounds_to_almost(engine, spec, 5000);
+    EXPECT_LE(rounds, 5000U) << "sleep_p=" << sleep_p;
+  }
+}
+
+TEST(Asynchrony, SlowdownScalesWithSleepProbability) {
+  Engine fast(fresh(20, 2), {});
+  Engine slow(fresh(20, 2), {.sleep_probability = 0.6, .fault_seed = 3});
+  const auto spec_fast = StableSpec::compute(fast.network());
+  const auto spec_slow = StableSpec::compute(slow.network());
+  const auto r_fast = rounds_to_almost(fast, spec_fast, 5000);
+  const auto r_slow = rounds_to_almost(slow, spec_slow, 5000);
+  ASSERT_LE(r_fast, 5000U);
+  ASSERT_LE(r_slow, 5000U);
+  EXPECT_GT(r_slow, r_fast);
+}
+
+TEST(Asynchrony, FaultScheduleIsDeterministic) {
+  Engine a(fresh(16, 3), {.sleep_probability = 0.5, .fault_seed = 11});
+  Engine b(fresh(16, 3), {.sleep_probability = 0.5, .fault_seed = 11});
+  for (int r = 0; r < 30; ++r) {
+    a.step();
+    b.step();
+    ASSERT_EQ(a.network().state_fingerprint(), b.network().state_fingerprint())
+        << "diverged at round " << r;
+  }
+}
+
+TEST(Asynchrony, DifferentFaultSeedsDiverge) {
+  Engine a(fresh(16, 4), {.sleep_probability = 0.5, .fault_seed = 1});
+  Engine b(fresh(16, 4), {.sleep_probability = 0.5, .fault_seed = 2});
+  bool diverged = false;
+  for (int r = 0; r < 10 && !diverged; ++r) {
+    a.step();
+    b.step();
+    diverged = a.network().state_fingerprint() != b.network().state_fingerprint();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Asynchrony, SleepingPeersKeepPublishedState) {
+  // With all peers asleep nothing may change.
+  Engine engine(fresh(10, 5), {.sleep_probability = 1.0});
+  const auto before = engine.network().serialize_state();
+  engine.step();
+  EXPECT_EQ(before, engine.network().serialize_state());
+}
+
+TEST(MessageLoss, MildLossUsuallyRecovers) {
+  // Deterministic seeds chosen so that 5% loss still reaches the desired
+  // topology -- the rules re-emit most information every round.
+  int recovered = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Engine engine(fresh(12, seed),
+                  {.message_loss = 0.05, .fault_seed = seed});
+    const auto spec = StableSpec::compute(engine.network());
+    recovered += rounds_to_almost(engine, spec, 3000) <= 3000;
+  }
+  EXPECT_GE(recovered, 4);
+}
+
+TEST(MessageLoss, TotalLossNeverConverges) {
+  Engine engine(fresh(10, 6), {.message_loss = 1.0});
+  const auto spec = StableSpec::compute(engine.network());
+  EXPECT_GT(rounds_to_almost(engine, spec, 100), 100U);
+  EXPECT_GT(engine.messages_dropped(), 0U);
+}
+
+TEST(MessageLoss, DropCounterAdvances) {
+  Engine engine(fresh(12, 7), {.message_loss = 0.3, .fault_seed = 5});
+  for (int r = 0; r < 5; ++r) engine.step();
+  EXPECT_GT(engine.messages_dropped(), 0U);
+  Engine clean(fresh(12, 7), {});
+  for (int r = 0; r < 5; ++r) clean.step();
+  EXPECT_EQ(clean.messages_dropped(), 0U);
+}
+
+TEST(RuleActivity, ChaoticRoundsFireManyActions) {
+  Engine engine(fresh(16, 8), {});
+  engine.step();
+  const auto& act = engine.last_activity();
+  EXPECT_GT(act.total(), 0U);
+  EXPECT_GT(act.virtuals_created, 0U);  // first round creates all virtuals
+  EXPECT_GT(act.mirror_backedges, 0U);
+}
+
+TEST(RuleActivity, FixpointFiresNoStructuralActions) {
+  Engine engine(fresh(16, 9), {});
+  const auto spec = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec, {}).stabilized);
+  engine.step();
+  const auto& act = engine.last_activity();
+  // No virtual-node churn and no ring traffic at the fixpoint; the steady
+  // connection-edge pipeline and idempotent re-sends are the only activity.
+  EXPECT_EQ(act.virtuals_created, 0U);
+  EXPECT_EQ(act.virtuals_deleted, 0U);
+  EXPECT_EQ(act.ring_forwards, 0U);
+  EXPECT_EQ(act.ring_resolves, 0U);
+  EXPECT_EQ(act.real_neighbor_informs, 0U);  // the rl/rr guard silences rule 3
+  EXPECT_GT(act.cedge_creates + act.cedge_forwards + act.cedge_resolves, 0U);
+}
+
+TEST(RuleActivity, AccumulatorAddsUp) {
+  RuleActivity a, b;
+  a.lin_forwards = 3;
+  a.ring_creates = 1;
+  b.lin_forwards = 2;
+  b.cedge_creates = 5;
+  a += b;
+  EXPECT_EQ(a.lin_forwards, 5U);
+  EXPECT_EQ(a.cedge_creates, 5U);
+  EXPECT_EQ(a.total(), 11U);
+}
+
+TEST(RuleActivity, JoinTriggersVirtualCreation) {
+  Engine engine(fresh(12, 10), {});
+  const auto spec = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec, {}).stabilized);
+  util::Rng rng(77);
+  join(engine.network(), rng.next(), engine.network().live_owners()[0]);
+  engine.reset_change_tracking();
+  std::uint64_t created = 0;
+  for (int r = 0; r < 30; ++r) {
+    engine.step();
+    created += engine.last_activity().virtuals_created;
+  }
+  EXPECT_GT(created, 0U);  // the newcomer built its virtual nodes
+}
+
+}  // namespace
+}  // namespace rechord::core

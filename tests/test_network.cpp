@@ -1,0 +1,186 @@
+#include "core/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+using testing::make_net;
+
+TEST(SlotAddressing, RoundTrips) {
+  EXPECT_EQ(slot_of(0, 0), 0U);
+  EXPECT_EQ(slot_of(2, 5), 2 * kSlotsPerOwner + 5);
+  EXPECT_EQ(owner_of(slot_of(7, 64)), 7U);
+  EXPECT_EQ(index_of(slot_of(7, 64)), 64U);
+  EXPECT_TRUE(is_real_slot(slot_of(3, 0)));
+  EXPECT_FALSE(is_real_slot(slot_of(3, 1)));
+}
+
+TEST(NetworkInit, OnlyRealSlotsAlive) {
+  const auto net = make_net({0.1, 0.5, 0.9});
+  EXPECT_EQ(net.owner_count(), 3U);
+  EXPECT_EQ(net.alive_owner_count(), 3U);
+  EXPECT_EQ(net.live_slot_count(), 3U);
+  EXPECT_EQ(net.live_virtual_count(), 0U);
+  EXPECT_TRUE(net.alive(slot_of(0, 0)));
+  EXPECT_FALSE(net.alive(slot_of(0, 1)));
+}
+
+TEST(NetworkInit, VirtualPositionsPrecomputed) {
+  const auto net = make_net({0.25});
+  EXPECT_EQ(net.pos(slot_of(0, 0)), ident::pos_from_double(0.25));
+  EXPECT_EQ(net.pos(slot_of(0, 1)), ident::pos_from_double(0.75));
+  EXPECT_EQ(net.pos(slot_of(0, 2)), ident::pos_from_double(0.5));
+}
+
+TEST(Order, PositionFirstVirtualBeforeReal) {
+  // Dyadic ids so the coincidence is exact: 0.75's v1 sits at 0.25.
+  const auto net = make_net({0.25, 0.75});
+  const Slot real_025 = slot_of(0, 0);
+  const Slot virt_025 = slot_of(1, 1);
+  ASSERT_EQ(net.pos(real_025), net.pos(virt_025));
+  EXPECT_TRUE(net.before(virt_025, real_025));  // virtual sorts first
+  EXPECT_TRUE(net.before(real_025, slot_of(1, 0)));
+}
+
+TEST(Edges, AddRemoveHas) {
+  auto net = make_net({0.1, 0.2, 0.3});
+  const Slot a = slot_of(0, 0), b = slot_of(1, 0), c = slot_of(2, 0);
+  EXPECT_TRUE(net.add_edge(a, EdgeKind::kUnmarked, b));
+  EXPECT_FALSE(net.add_edge(a, EdgeKind::kUnmarked, b));  // duplicate
+  EXPECT_TRUE(net.has_edge(a, EdgeKind::kUnmarked, b));
+  EXPECT_FALSE(net.has_edge(a, EdgeKind::kRing, b));  // marking-specific
+  EXPECT_TRUE(net.add_edge(a, EdgeKind::kRing, b));   // multigraph
+  EXPECT_TRUE(net.add_edge(a, EdgeKind::kUnmarked, c));
+  EXPECT_TRUE(net.remove_edge(a, EdgeKind::kUnmarked, b));
+  EXPECT_FALSE(net.remove_edge(a, EdgeKind::kUnmarked, b));
+  EXPECT_TRUE(net.has_edge(a, EdgeKind::kRing, b));
+}
+
+TEST(Edges, SelfEdgesRejected) {
+  auto net = make_net({0.1});
+  EXPECT_FALSE(net.add_edge(0, EdgeKind::kUnmarked, 0));
+  EXPECT_TRUE(net.edges(0, EdgeKind::kUnmarked).empty());
+}
+
+TEST(Edges, KeptSortedByOrder) {
+  auto net = make_net({0.5, 0.1, 0.9, 0.3});
+  const Slot s = slot_of(0, 0);
+  net.add_edge(s, EdgeKind::kUnmarked, slot_of(2, 0));  // 0.9
+  net.add_edge(s, EdgeKind::kUnmarked, slot_of(1, 0));  // 0.1
+  net.add_edge(s, EdgeKind::kUnmarked, slot_of(3, 0));  // 0.3
+  const auto& nu = net.edges(s, EdgeKind::kUnmarked);
+  ASSERT_EQ(nu.size(), 3U);
+  EXPECT_EQ(nu[0], slot_of(1, 0));
+  EXPECT_EQ(nu[1], slot_of(3, 0));
+  EXPECT_EQ(nu[2], slot_of(2, 0));
+}
+
+TEST(MaxLiveIndex, TracksVirtuals) {
+  auto net = make_net({0.1});
+  EXPECT_EQ(net.max_live_index(0), 0U);
+  net.set_alive(slot_of(0, 3), true);
+  net.set_alive(slot_of(0, 1), true);
+  EXPECT_EQ(net.max_live_index(0), 3U);
+}
+
+TEST(Normalize, RehomesDeadVirtualReferences) {
+  auto net = make_net({0.1, 0.6});
+  const Slot dead = slot_of(1, 5);
+  const Slot um = slot_of(1, 2);
+  net.set_alive(dead, true);
+  net.set_alive(um, true);
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, dead);
+  net.set_alive(dead, false);
+  net.normalize();
+  const auto& nu = net.edges(slot_of(0, 0), EdgeKind::kUnmarked);
+  ASSERT_EQ(nu.size(), 1U);
+  EXPECT_EQ(nu[0], um);  // re-homed to the owner's largest live index
+}
+
+TEST(Normalize, DropsReferencesToDeadOwner) {
+  auto net = make_net({0.1, 0.6});
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  net.set_alive(slot_of(1, 0), false);
+  net.normalize();
+  EXPECT_TRUE(net.edges(slot_of(0, 0), EdgeKind::kUnmarked).empty());
+}
+
+TEST(Normalize, DropsSelfAfterRehoming) {
+  auto net = make_net({0.1});
+  const Slot u1 = slot_of(0, 1);
+  const Slot u2 = slot_of(0, 2);
+  net.set_alive(u1, true);
+  net.set_alive(u2, true);
+  net.add_edge(u1, EdgeKind::kUnmarked, u2);
+  net.set_alive(u2, false);  // u2's references re-home to u1 -> self -> drop
+  net.normalize();
+  EXPECT_TRUE(net.edges(u1, EdgeKind::kUnmarked).empty());
+}
+
+TEST(Normalize, ClearsRlRrOfDeadSlots) {
+  auto net = make_net({0.1, 0.6});
+  net.set_rl(slot_of(0, 0), slot_of(1, 0));
+  net.set_alive(slot_of(1, 0), false);
+  net.normalize();
+  EXPECT_EQ(net.rl(slot_of(0, 0)), kInvalidSlot);
+}
+
+TEST(Serialize, EqualStatesEqualBytes) {
+  auto a = make_net({0.1, 0.6});
+  auto b = make_net({0.1, 0.6});
+  a.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  b.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  EXPECT_EQ(a.serialize_state(), b.serialize_state());
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+  b.add_edge(slot_of(1, 0), EdgeKind::kRing, slot_of(0, 0));
+  EXPECT_NE(a.serialize_state(), b.serialize_state());
+  EXPECT_NE(a.state_fingerprint(), b.state_fingerprint());
+}
+
+TEST(Serialize, RlRrIncluded) {
+  auto a = make_net({0.1, 0.6});
+  auto b = make_net({0.1, 0.6});
+  a.set_rl(slot_of(0, 0), slot_of(1, 0));
+  EXPECT_NE(a.serialize_state(), b.serialize_state());
+}
+
+TEST(Metrics, CountsPerKind) {
+  auto net = make_net({0.1, 0.4, 0.8});
+  net.add_edge(slot_of(0, 0), EdgeKind::kUnmarked, slot_of(1, 0));
+  net.add_edge(slot_of(1, 0), EdgeKind::kRing, slot_of(2, 0));
+  net.add_edge(slot_of(2, 0), EdgeKind::kConnection, slot_of(0, 0));
+  net.add_edge(slot_of(2, 0), EdgeKind::kConnection, slot_of(1, 0));
+  EXPECT_EQ(net.edge_count(EdgeKind::kUnmarked), 1U);
+  EXPECT_EQ(net.edge_count(EdgeKind::kRing), 1U);
+  EXPECT_EQ(net.edge_count(EdgeKind::kConnection), 2U);
+}
+
+TEST(AddOwner, GrowsNetwork) {
+  auto net = make_net({0.125});
+  const auto o = net.add_owner(ident::pos_from_double(0.75));
+  EXPECT_EQ(o, 1U);
+  EXPECT_EQ(net.owner_count(), 2U);
+  EXPECT_TRUE(net.owner_alive(1));
+  EXPECT_EQ(net.pos(slot_of(1, 1)), ident::pos_from_double(0.25));
+}
+
+TEST(Describe, MentionsKindAndOwner) {
+  auto net = make_net({0.25});
+  EXPECT_NE(net.describe(slot_of(0, 0)).find("r0@0"), std::string::npos);
+  EXPECT_NE(net.describe(slot_of(0, 2)).find("v2@0"), std::string::npos);
+}
+
+TEST(LiveSlots, EnumerationsConsistent) {
+  auto net = make_net({0.1, 0.6});
+  net.set_alive(slot_of(0, 2), true);
+  EXPECT_EQ(net.live_slots().size(), 3U);
+  EXPECT_EQ(net.live_slots_of(0).size(), 2U);
+  EXPECT_EQ(net.live_owners().size(), 2U);
+  EXPECT_EQ(net.live_virtual_count(), 1U);
+}
+
+}  // namespace
+}  // namespace rechord::core

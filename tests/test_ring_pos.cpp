@@ -1,0 +1,123 @@
+#include "ident/ring_pos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ident/hashing.hpp"
+#include "util/rng.hpp"
+
+namespace rechord::ident {
+namespace {
+
+constexpr RingPos kQuarter = RingPos{1} << 62;
+constexpr RingPos kHalf = RingPos{1} << 63;
+
+TEST(RingPosConvert, RoundTripsDoubles) {
+  for (double x : {0.0, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(pos_to_double(pos_from_double(x)), x, 1e-12);
+  }
+}
+
+TEST(RingPosConvert, WrapsOutOfRangeInput) {
+  EXPECT_EQ(pos_from_double(1.25), pos_from_double(0.25));
+  EXPECT_EQ(pos_from_double(-1.0), pos_from_double(0.0));
+}
+
+TEST(CwDist, BasicAndWraparound) {
+  EXPECT_EQ(cw_dist(kQuarter, kHalf), kQuarter);
+  // 0.75 -> 0.25 clockwise crosses the seam: distance 0.5.
+  EXPECT_EQ(cw_dist(kHalf + kQuarter, kQuarter), kHalf);
+  EXPECT_EQ(cw_dist(kHalf, kHalf), RingPos{0});
+}
+
+TEST(OpenInterval, PaperExample) {
+  // "0, 0.2 ∈ [0.8, 0.3], but 0.2 ∉ [0.3, 0.8]" (paper §2.2).
+  const RingPos p02 = pos_from_double(0.2);
+  const RingPos p03 = pos_from_double(0.3);
+  const RingPos p08 = pos_from_double(0.8);
+  const RingPos p0 = pos_from_double(0.0);
+  EXPECT_TRUE(in_open_interval(p08, p03, p02));
+  EXPECT_TRUE(in_open_interval(p08, p03, p0));
+  EXPECT_FALSE(in_open_interval(p03, p08, p02));
+  EXPECT_TRUE(in_open_interval(p03, p08, pos_from_double(0.5)));
+}
+
+TEST(OpenInterval, ExcludesEndpoints) {
+  const RingPos a = pos_from_double(0.1);
+  const RingPos b = pos_from_double(0.6);
+  EXPECT_FALSE(in_open_interval(a, b, a));
+  EXPECT_FALSE(in_open_interval(a, b, b));
+}
+
+TEST(OpenInterval, EqualEndpointsIsEmpty) {
+  const RingPos a = pos_from_double(0.4);
+  EXPECT_FALSE(in_open_interval(a, a, a));
+  EXPECT_FALSE(in_open_interval(a, a, pos_from_double(0.5)));
+}
+
+TEST(VirtualPos, MatchesPowersOfTwo) {
+  const RingPos u = pos_from_double(0.1);
+  EXPECT_EQ(virtual_pos(u, 0), u);
+  EXPECT_EQ(virtual_pos(u, 1), u + kHalf);    // +1/2
+  EXPECT_EQ(virtual_pos(u, 2), u + kQuarter); // +1/4
+  EXPECT_EQ(virtual_pos(u, 64), u + 1);       // +2^-64 (1 ulp)
+}
+
+TEST(VirtualPos, WrapsAroundOne) {
+  const RingPos u = pos_from_double(0.9);
+  EXPECT_NEAR(pos_to_double(virtual_pos(u, 1)), 0.4, 1e-9);  // 1.4 mod 1
+  EXPECT_NEAR(pos_to_double(virtual_pos(u, 2)), 0.15, 1e-9);
+}
+
+TEST(ExponentForGap, ChordInequalityTable) {
+  // 2^-m <= gap < 2^-(m-1)
+  EXPECT_EQ(exponent_for_gap(kHalf), 1);          // gap = 1/2
+  EXPECT_EQ(exponent_for_gap(kHalf + 1), 1);      // gap > 1/2
+  EXPECT_EQ(exponent_for_gap(~RingPos{0}), 1);    // gap ~ 1
+  EXPECT_EQ(exponent_for_gap(kQuarter), 2);       // gap = 1/4
+  EXPECT_EQ(exponent_for_gap(kQuarter + 1), 2);
+  EXPECT_EQ(exponent_for_gap(kQuarter - 1), 3);
+  EXPECT_EQ(exponent_for_gap(RingPos{1}), 64);    // minimal gap
+  EXPECT_EQ(exponent_for_gap(RingPos{0}), 64);    // degenerate
+}
+
+TEST(ExponentForGap, SatisfiesDefiningInequality) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const RingPos gap = rng.next() | 1;  // nonzero
+    const int m = exponent_for_gap(gap);
+    ASSERT_GE(m, 1);
+    ASSERT_LE(m, 64);
+    // 2^(64-m) <= gap
+    EXPECT_LE(virtual_pos(0, m), gap) << "gap=" << gap << " m=" << m;
+    if (m > 1) {
+      EXPECT_GT(virtual_pos(0, m - 1), gap);
+    }
+  }
+}
+
+TEST(PosToString, SixDigits) {
+  EXPECT_EQ(pos_to_string(pos_from_double(0.25)), "0.250000");
+  EXPECT_EQ(pos_to_string(0), "0.000000");
+}
+
+TEST(Hashing, DeterministicNames) {
+  EXPECT_EQ(hash_name("peer-1"), hash_name("peer-1"));
+  EXPECT_NE(hash_name("peer-1"), hash_name("peer-2"));
+  EXPECT_NE(hash_name(""), hash_name("a"));
+}
+
+TEST(Hashing, KeysSpread) {
+  std::set<RingPos> seen;
+  for (std::uint64_t k = 0; k < 1000; ++k) seen.insert(hash_key(k));
+  EXPECT_EQ(seen.size(), 1000U);
+  // Roughly half land in each half of the ring.
+  std::size_t low = 0;
+  for (RingPos p : seen) low += p < kHalf;
+  EXPECT_GT(low, 400U);
+  EXPECT_LT(low, 600U);
+}
+
+}  // namespace
+}  // namespace rechord::ident

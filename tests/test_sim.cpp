@@ -1,0 +1,123 @@
+// Tests for the experiment harness (src/sim): seeded trials are
+// deterministic, aggregation math is correct, and sweeps cover their sizes.
+
+#include "sim/trial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rechord::sim {
+namespace {
+
+TEST(Trial, DeterministicPerSeed) {
+  TrialConfig cfg;
+  cfg.n = 12;
+  cfg.seed = 9;
+  const auto a = run_trial(cfg);
+  const auto b = run_trial(cfg);
+  EXPECT_EQ(a.run.rounds_to_stable, b.run.rounds_to_stable);
+  EXPECT_EQ(a.run.rounds_to_almost, b.run.rounds_to_almost);
+  EXPECT_EQ(a.run.final_metrics.total_edges(),
+            b.run.final_metrics.total_edges());
+}
+
+TEST(Trial, DifferentSeedsDiffer) {
+  TrialConfig a_cfg, b_cfg;
+  a_cfg.n = b_cfg.n = 20;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  const auto a = run_trial(a_cfg);
+  const auto b = run_trial(b_cfg);
+  // Node placement differs, so virtual-node totals almost surely differ.
+  EXPECT_NE(a.run.final_metrics.virtual_nodes,
+            b.run.final_metrics.virtual_nodes);
+}
+
+TEST(Trial, StabilizesAndMatchesSpecByDefault) {
+  TrialConfig cfg;
+  cfg.n = 15;
+  cfg.seed = 3;
+  const auto outcome = run_trial(cfg);
+  EXPECT_TRUE(outcome.run.stabilized);
+  EXPECT_TRUE(outcome.run.spec_exact);
+  EXPECT_EQ(outcome.run.final_metrics.real_nodes, 15U);
+}
+
+TEST(Trial, ScrambleConfigRespected) {
+  TrialConfig cfg;
+  cfg.n = 10;
+  cfg.seed = 4;
+  cfg.scramble = true;
+  const auto outcome = run_trial(cfg);
+  EXPECT_TRUE(outcome.run.stabilized);
+  EXPECT_TRUE(outcome.run.spec_exact);
+}
+
+TEST(Trial, SeriesTrackingRecordsRounds) {
+  TrialConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 5;
+  cfg.track_series = true;
+  const auto outcome = run_trial(cfg);
+  ASSERT_TRUE(outcome.run.stabilized);
+  EXPECT_EQ(outcome.run.series.size(), outcome.run.rounds_to_stable + 1);
+}
+
+TEST(Batch, SeedsAreConsecutive) {
+  TrialConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 100;
+  const auto outcomes = run_batch(cfg, 3);
+  ASSERT_EQ(outcomes.size(), 3U);
+  EXPECT_EQ(outcomes[0].config.seed, 100U);
+  EXPECT_EQ(outcomes[2].config.seed, 102U);
+}
+
+TEST(Aggregate, MeansOverStabilizedTrials) {
+  TrialConfig cfg;
+  cfg.n = 10;
+  cfg.seed = 7;
+  const auto outcomes = run_batch(cfg, 5);
+  const auto pt = aggregate(outcomes);
+  EXPECT_EQ(pt.n, 10U);
+  EXPECT_EQ(pt.trials, 5U);
+  EXPECT_EQ(pt.failed, 0U);
+  EXPECT_EQ(pt.rounds_stable.count, 5U);
+  EXPECT_GT(pt.rounds_stable.mean, 0.0);
+  EXPECT_GE(pt.rounds_stable.max, pt.rounds_stable.min);
+  EXPECT_GT(pt.virtual_nodes.mean, 10.0);  // > 1 virtual per peer
+  EXPECT_NEAR(pt.total_nodes.mean, pt.virtual_nodes.mean + 10.0, 1e-9);
+}
+
+TEST(Aggregate, CountsFailures) {
+  TrialConfig cfg;
+  cfg.n = 20;
+  cfg.seed = 8;
+  cfg.max_rounds = 1;  // cannot stabilize in one round
+  const auto pt = aggregate(run_batch(cfg, 3));
+  EXPECT_EQ(pt.failed, 3U);
+  EXPECT_EQ(pt.rounds_stable.count, 0U);
+}
+
+TEST(Series, CoversAllSizes) {
+  TrialConfig cfg;
+  cfg.seed = 9;
+  const auto series = run_series(cfg, {4, 8, 12}, 2);
+  ASSERT_EQ(series.size(), 3U);
+  EXPECT_EQ(series[0].n, 4U);
+  EXPECT_EQ(series[2].n, 12U);
+  // Monotone growth of total nodes with n (statistically certain here).
+  EXPECT_LT(series[0].total_nodes.mean, series[2].total_nodes.mean);
+}
+
+TEST(Series, TopologyConfigApplies) {
+  TrialConfig cfg;
+  cfg.seed = 10;
+  cfg.topology = gen::Topology::kLine;
+  cfg.n = 10;
+  const auto outcome = run_trial(cfg);
+  EXPECT_TRUE(outcome.run.stabilized);
+  EXPECT_EQ(outcome.config.topology, gen::Topology::kLine);
+}
+
+}  // namespace
+}  // namespace rechord::sim

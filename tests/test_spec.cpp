@@ -1,0 +1,157 @@
+#include "core/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+using testing::make_net;
+
+TEST(Spec, EmptyNetwork) {
+  std::vector<RingPos> no_ids;
+  const Network net{std::span<const RingPos>(no_ids)};
+  const auto spec = StableSpec::compute(net);
+  EXPECT_TRUE(spec.nodes_in_order().empty());
+  EXPECT_TRUE(spec.almost_stable(net));
+}
+
+TEST(Spec, SinglePeerHasOneVirtual) {
+  const auto net = make_net({0.25});
+  const auto spec = StableSpec::compute(net);
+  EXPECT_EQ(spec.m_of(0), 1);
+  ASSERT_EQ(spec.nodes_in_order().size(), 2U);
+  // Nodes: u0 = 0.25, u1 = 0.75; each is the other's closest neighbor.
+  const Slot u0 = slot_of(0, 0), u1 = slot_of(0, 1);
+  EXPECT_EQ(spec.eu(u0), std::vector<Slot>{u1});
+  EXPECT_EQ(spec.eu(u1), std::vector<Slot>{u0});
+  // rl/rr: u1's closest left real is u0; u0 has no real on either side.
+  EXPECT_EQ(spec.rl(u1), u0);
+  EXPECT_EQ(spec.rl(u0), kInvalidSlot);
+  EXPECT_EQ(spec.rr(u0), kInvalidSlot);
+  // Ring closure between the two extremes.
+  EXPECT_EQ(spec.er(u0), std::vector<Slot>{u1});
+  EXPECT_EQ(spec.er(u1), std::vector<Slot>{u0});
+}
+
+TEST(Spec, MValuesFollowGaps) {
+  // 0.125 -> 0.375: gap 0.25 -> m = 2 (dyadic, exact); reverse gap 0.75 ->
+  // m = 1. v2 of owner 0 lands exactly on the real node 0.375: the total
+  // order puts the virtual first.
+  const auto net = make_net({0.125, 0.375});
+  const auto spec = StableSpec::compute(net);
+  EXPECT_EQ(spec.m_of(0), 2);
+  EXPECT_EQ(spec.m_of(1), 1);
+  const auto& nodes = spec.nodes_in_order();
+  ASSERT_EQ(nodes.size(), 5U);
+  EXPECT_EQ(nodes[0], slot_of(0, 0));  // 0.125
+  EXPECT_EQ(nodes[1], slot_of(0, 2));  // 0.375 virtual (ties before real)
+  EXPECT_EQ(nodes[2], slot_of(1, 0));  // 0.375 real
+  EXPECT_EQ(nodes[3], slot_of(0, 1));  // 0.625
+  EXPECT_EQ(nodes[4], slot_of(1, 1));  // 0.875
+}
+
+TEST(Spec, FourEdgesMaxPerNode) {
+  util::Rng rng(5);
+  const auto ids = gen::random_ids(rng, 20);
+  const Network net{std::span<const RingPos>(ids)};
+  const auto spec = StableSpec::compute(net);
+  for (Slot s : spec.nodes_in_order()) {
+    EXPECT_LE(spec.eu(s).size(), 4U);
+    EXPECT_GE(spec.eu(s).size(), 1U);
+  }
+}
+
+TEST(Spec, RingEdgesConnectExtremes) {
+  util::Rng rng(6);
+  const auto ids = gen::random_ids(rng, 12);
+  const Network net{std::span<const RingPos>(ids)};
+  const auto spec = StableSpec::compute(net);
+  const Slot lo = spec.min_node(), hi = spec.max_node();
+  EXPECT_EQ(spec.er(lo), std::vector<Slot>{hi});
+  EXPECT_EQ(spec.er(hi), std::vector<Slot>{lo});
+  EXPECT_EQ(spec.spec_edge_count(EdgeKind::kRing), 2U);
+  for (Slot s : spec.nodes_in_order()) {
+    if (s != lo && s != hi) {
+      EXPECT_TRUE(spec.er(s).empty());
+    }
+  }
+}
+
+TEST(Spec, AlmostStableDetectsMissingEdge) {
+  util::Rng rng(7);
+  auto net = gen::make_network(gen::Topology::kRandomConnected, 10, rng);
+  Engine engine(std::move(net), {});
+  const auto spec = StableSpec::compute(engine.network());
+  EXPECT_FALSE(spec.almost_stable(engine.network()));  // fresh state
+  const auto result = run_to_stable(engine, spec, {});
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(spec.almost_stable(engine.network()));
+  // Remove one desired edge: almost-stability must break.
+  const Slot s = spec.nodes_in_order().front();
+  ASSERT_FALSE(spec.eu(s).empty());
+  engine.network().remove_edge(s, EdgeKind::kUnmarked, spec.eu(s).front());
+  EXPECT_FALSE(spec.almost_stable(engine.network()));
+}
+
+TEST(Spec, AlmostStableAllowsExtraEdges) {
+  util::Rng rng(8);
+  auto net = gen::make_network(gen::Topology::kRandomConnected, 10, rng);
+  Engine engine(std::move(net), {});
+  const auto spec = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec, {}).stabilized);
+  // Add a random extra edge: still almost stable, no longer exact.
+  const Slot a = spec.nodes_in_order().front();
+  const Slot b = spec.nodes_in_order()[spec.nodes_in_order().size() / 2];
+  engine.network().add_edge(a, EdgeKind::kUnmarked, b);
+  EXPECT_TRUE(spec.almost_stable(engine.network()) ||
+              spec.eu(a) == engine.network().edges(a, EdgeKind::kUnmarked));
+  std::string why;
+  EXPECT_FALSE(spec.exact_match(engine.network(), &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Spec, ExactMatchDiagnosesMissingSlot) {
+  util::Rng rng(9);
+  auto net = gen::make_network(gen::Topology::kRandomConnected, 8, rng);
+  Engine engine(std::move(net), {});
+  const auto spec = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec, {}).stabilized);
+  ASSERT_TRUE(spec.exact_match(engine.network()));
+  engine.network().set_alive(spec.nodes_in_order().back(), false);
+  engine.network().normalize();
+  std::string why;
+  EXPECT_FALSE(spec.exact_match(engine.network(), &why));
+  EXPECT_NE(why.find("missing live slot"), std::string::npos);
+}
+
+TEST(Spec, SpecEdgeCountsScale) {
+  util::Rng rng(10);
+  const auto ids = gen::random_ids(rng, 50);
+  const Network net{std::span<const RingPos>(ids)};
+  const auto spec = StableSpec::compute(net);
+  const std::size_t nodes = spec.nodes_in_order().size();
+  // ~4 unmarked edges per node minus boundary effects.
+  EXPECT_GT(spec.spec_edge_count(EdgeKind::kUnmarked), 3 * nodes);
+  EXPECT_LE(spec.spec_edge_count(EdgeKind::kUnmarked), 4 * nodes);
+  // Connection chains exist (there are always nodes between sibling pairs
+  // at this size).
+  EXPECT_GT(spec.spec_edge_count(EdgeKind::kConnection), 0U);
+}
+
+TEST(Spec, ConnectionChainsTargetSiblings) {
+  util::Rng rng(11);
+  const auto ids = gen::random_ids(rng, 16);
+  const Network net{std::span<const RingPos>(ids)};
+  const auto spec = StableSpec::compute(net);
+  // Every spec connection edge (x -> b) targets a node strictly above x.
+  for (Slot x : spec.nodes_in_order())
+    for (Slot b : spec.ec(x)) EXPECT_TRUE(net.before(x, b));
+}
+
+}  // namespace
+}  // namespace rechord::core

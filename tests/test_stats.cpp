@@ -1,0 +1,111 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rechord::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0U);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, PercentilesOfKnownSample) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.p50, 50.0);
+  EXPECT_EQ(s.p90, 90.0);
+  EXPECT_EQ(s.p99, 99.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(PercentileSorted, EdgeCases) {
+  const std::vector<double> one{42.0};
+  EXPECT_EQ(percentile_sorted(one, 0.0), 42.0);
+  EXPECT_EQ(percentile_sorted(one, 1.0), 42.0);
+  EXPECT_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(PercentileSorted, ClampsQuantile) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(percentile_sorted(v, -1.0), 1.0);
+  EXPECT_EQ(percentile_sorted(v, 2.0), 3.0);
+}
+
+TEST(LinearSlope, ExactLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // slope 2
+  EXPECT_NEAR(linear_slope(x, y), 2.0, 1e-12);
+}
+
+TEST(LinearSlope, DegenerateInputs) {
+  EXPECT_EQ(linear_slope({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(linear_slope({2.0, 2.0}, {1.0, 5.0}), 0.0);  // vertical
+}
+
+TEST(PowerlawExponent, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.7));
+  }
+  EXPECT_NEAR(powerlaw_exponent(x, y), 1.7, 1e-9);
+}
+
+TEST(PowerlawExponent, SkipsNonPositive) {
+  const std::vector<double> x{0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{5.0, 1.0, 2.0, 4.0};  // after skip: slope 1
+  EXPECT_NEAR(powerlaw_exponent(x, y), 1.0, 1e-9);
+}
+
+TEST(Fixed, FormatsDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace rechord::util

@@ -1,0 +1,121 @@
+// Tie-breaking tests: the paper assumes real identifiers in [0,1) so
+// coinciding positions have measure zero, but dyadic identifiers make
+// virtual nodes land EXACTLY on other nodes' positions. The deterministic
+// total order (position, virtual-before-real, slot) must keep the protocol
+// convergent and the spec well-defined in those degenerate configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "graph/digraph.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+using testing::make_net;
+
+RunResult converge_net(Network net) {
+  // Connect the peers in a line so the initial state is weakly connected.
+  const auto owners = net.live_owners();
+  for (std::size_t i = 0; i + 1 < owners.size(); ++i)
+    net.add_edge(slot_of(owners[i], 0), EdgeKind::kUnmarked,
+                 slot_of(owners[i + 1], 0));
+  Engine engine(std::move(net), {});
+  const auto spec = StableSpec::compute(engine.network());
+  RunOptions opt;
+  opt.max_rounds = 50000;
+  return run_to_stable(engine, spec, opt);
+}
+
+TEST(Ties, VirtualOnRealPosition) {
+  // 0.125 + 1/4 = 0.375 lands exactly on the second peer.
+  const auto result = converge_net(make_net({0.125, 0.375}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, AntipodalPeers) {
+  // Each peer's u_1 lands exactly on the other peer.
+  const auto result = converge_net(make_net({0.25, 0.75}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, PowersOfTwoLadder) {
+  // Gaps are exact powers of two: every sibling boundary is a tie candidate.
+  const auto result = converge_net(make_net({0.0, 0.5, 0.75, 0.875}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, DenseDyadicCluster) {
+  const auto result =
+      converge_net(make_net({0.5, 0.53125, 0.5625, 0.625, 0.75}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, VirtualVirtualCollision) {
+  // 0.2ish dyadics chosen so two different peers' virtuals coincide:
+  // 0.125's u_1 = 0.625 and 0.375's u_2 = 0.625.
+  const auto result = converge_net(make_net({0.125, 0.375, 0.9375}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, ZeroIdPeer) {
+  // Position 0 is the ring origin; nothing special may happen there.
+  const auto result = converge_net(make_net({0.0, 0.625, 0.3125}));
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Ties, SpecOrderIsDeterministicUnderTies) {
+  const auto net = make_net({0.125, 0.375});
+  const auto a = StableSpec::compute(net);
+  const auto b = StableSpec::compute(net);
+  EXPECT_EQ(a.nodes_in_order(), b.nodes_in_order());
+  // The tie at 0.375: the virtual node sorts strictly before the real one.
+  const auto& nodes = a.nodes_in_order();
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i)
+    EXPECT_TRUE(net.before(nodes[i], nodes[i + 1]));
+}
+
+class DyadicSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DyadicSweep, AllDyadicSubsetsConverge) {
+  // Peers on the dyadic grid k/8: adversarially tie-heavy configurations.
+  const int mask = GetParam();
+  std::vector<RingPos> ids;
+  for (int k = 0; k < 8; ++k)
+    if (mask & (1 << k))
+      ids.push_back(ident::pos_from_double(k / 8.0));
+  if (ids.size() < 2) GTEST_SKIP();
+  Network net{std::span<const RingPos>(ids)};
+  const auto owners = net.live_owners();
+  for (std::size_t i = 0; i + 1 < owners.size(); ++i)
+    net.add_edge(slot_of(owners[i], 0), EdgeKind::kUnmarked,
+                 slot_of(owners[i + 1], 0));
+  Engine engine(std::move(net), {});
+  const auto spec = StableSpec::compute(engine.network());
+  RunOptions opt;
+  opt.max_rounds = 50000;
+  const auto result = run_to_stable(engine, spec, opt);
+  EXPECT_TRUE(result.stabilized) << "mask=" << mask;
+  std::string why;
+  EXPECT_TRUE(spec.exact_match(engine.network(), &why))
+      << "mask=" << mask << ": " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, DyadicSweep,
+                         ::testing::Values(0b00000011, 0b00000101, 0b00010001,
+                                           0b00110011, 0b01010101, 0b00001111,
+                                           0b11110000, 0b10101010, 0b11111111,
+                                           0b10010010, 0b11000011, 0b01111110));
+
+}  // namespace
+}  // namespace rechord::core

@@ -1,0 +1,69 @@
+#pragma once
+// Shared helpers for the Re-Chord test suite.
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/network.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/digraph.hpp"
+#include "graph/union_find.hpp"
+#include "ident/ring_pos.hpp"
+
+namespace rechord::testing {
+
+/// Network whose peers sit at the given fractional positions (e.g. 0.25).
+inline core::Network make_net(std::initializer_list<double> ids) {
+  std::vector<core::RingPos> pos;
+  pos.reserve(ids.size());
+  for (double x : ids) pos.push_back(ident::pos_from_double(x));
+  return core::Network{std::span<const core::RingPos>(pos)};
+}
+
+/// Undirected-view digraph over all live slots and ALL edge markings --
+/// exactly the graph whose weak connectivity the paper's precondition and
+/// our invariants talk about.
+inline graph::Digraph to_digraph(const core::Network& net) {
+  const auto slots = net.live_slots();
+  std::vector<std::uint32_t> vertex_of(net.slot_count(), UINT32_MAX);
+  for (std::uint32_t v = 0; v < slots.size(); ++v) vertex_of[slots[v]] = v;
+  graph::Digraph g(slots.size());
+  for (std::uint32_t v = 0; v < slots.size(); ++v)
+    for (int k = 0; k < core::kEdgeKinds; ++k)
+      for (core::Slot t : net.edges(slots[v], static_cast<core::EdgeKind>(k)))
+        if (net.alive(t)) g.add_edge(v, vertex_of[t]);
+  return g;
+}
+
+inline bool weakly_connected(const core::Network& net) {
+  return graph::weakly_connected(to_digraph(net));
+}
+
+/// Weak connectivity at PEER granularity: each owner's slots are identified
+/// (a peer simulates all of its virtual nodes). This is the paper's actual
+/// precondition -- §3.1.1 explicitly allows the virtual-node graph to start
+/// disconnected (garbage virtuals), which rule 6 then reconnects.
+inline bool peers_weakly_connected(const core::Network& net) {
+  const auto owners = net.live_owners();
+  if (owners.size() <= 1) return true;
+  std::vector<std::uint32_t> dense(net.owner_count(), UINT32_MAX);
+  for (std::uint32_t v = 0; v < owners.size(); ++v) dense[owners[v]] = v;
+  graph::UnionFind uf(owners.size());
+  for (core::Slot s : net.live_slots())
+    for (int k = 0; k < core::kEdgeKinds; ++k)
+      for (core::Slot t : net.edges(s, static_cast<core::EdgeKind>(k)))
+        if (net.alive(t))
+          uf.unite(dense[core::owner_of(s)], dense[core::owner_of(t)]);
+  return uf.component_count() == 1;
+}
+
+/// Steps the engine until fixpoint; returns rounds until the last change, or
+/// max_rounds+1 if it never settled.
+inline std::uint64_t settle(core::Engine& engine, std::uint64_t max_rounds) {
+  for (std::uint64_t r = 0; r < max_rounds; ++r)
+    if (!engine.step().changed) return r;
+  return max_rounds + 1;
+}
+
+}  // namespace rechord::testing
