@@ -4,6 +4,7 @@
 // size, mean values) and table/CSV emission helpers.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -11,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
 #include "sim/trial.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -60,6 +63,43 @@ inline void emit_csv(const std::string& path,
     for (double v : row) w.cell(v);
   }
   std::printf("(csv written to %s)\n", path.c_str());
+}
+
+/// Monotonic wall-clock stopwatch for the round-cost benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double elapsed_ns() const {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Materializes the protocol's exact fixpoint state for n random peers
+/// directly from the StableSpec (no protocol execution) -- the steady-state
+/// workload of bench/round_cost, cheap to build even at n = 50k.
+inline core::Network stable_network(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto ids = gen::random_ids(rng, n);
+  core::Network net{std::span<const core::RingPos>(ids)};
+  const auto spec = core::StableSpec::compute(net);
+  for (core::Slot s : spec.nodes_in_order()) net.set_alive(s, true);
+  for (core::Slot s : spec.nodes_in_order()) {
+    for (core::Slot t : spec.eu(s))
+      net.add_edge(s, core::EdgeKind::kUnmarked, t);
+    for (core::Slot t : spec.er(s)) net.add_edge(s, core::EdgeKind::kRing, t);
+    for (core::Slot t : spec.ec(s))
+      net.add_edge(s, core::EdgeKind::kConnection, t);
+    net.set_rl(s, spec.rl(s));
+    net.set_rr(s, spec.rr(s));
+  }
+  return net;
 }
 
 inline void banner(const char* title, const char* paper_ref) {

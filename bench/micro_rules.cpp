@@ -72,6 +72,25 @@ void BM_Fingerprint(benchmark::State& state) {
 }
 BENCHMARK(BM_Fingerprint)->Arg(64)->Arg(256);
 
+// The incremental fixpoint detector on an unchanged state (nothing dirty):
+// the O(live slots) byte scan that replaced BM_SerializeState per round.
+void BM_ConsumeRoundChangesClean(benchmark::State& state) {
+  auto engine = stable_engine(static_cast<std::size_t>(state.range(0)));
+  engine.network().rebuild_change_baseline();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.network().consume_round_changes());
+}
+BENCHMARK(BM_ConsumeRoundChangesClean)->Arg(64)->Arg(256);
+
+// One steady-state round, incremental vs flag-gated legacy detection.
+void BM_RoundAtFixpointLegacy(benchmark::State& state) {
+  auto engine = stable_engine(static_cast<std::size_t>(state.range(0)));
+  core::Engine legacy(engine.network(), {.legacy_fixpoint = true});
+  legacy.step();  // prime the snapshot
+  for (auto _ : state) benchmark::DoNotOptimize(legacy.step());
+}
+BENCHMARK(BM_RoundAtFixpointLegacy)->Arg(64)->Arg(256);
+
 void BM_SpecCompute(benchmark::State& state) {
   auto engine = stable_engine(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state)

@@ -1,0 +1,100 @@
+// Steady-state round cost at scale: ns/round and peak edge-set bytes for the
+// incremental fixpoint detector vs. the flag-gated legacy path (full
+// serialize_state() per round), at n in {1k, 10k, 50k}. The workload is the
+// exact fixpoint state materialized from the StableSpec, so every measured
+// round is an unchanged round -- the case every long-running scaling/churn
+// scenario spends almost all of its time in.
+//
+//   ./bench_round_cost [--sizes 1000,10000,50000] [--rounds 30]
+//                      [--legacy-rounds N] [--threads T] [--seed S]
+//                      [--csv out.csv]
+
+#include "common.hpp"
+#include "core/engine.hpp"
+
+using namespace rechord;
+
+namespace {
+
+struct Measurement {
+  double ns_per_round = 0.0;
+  std::size_t edge_bytes = 0;
+  bool stayed_fixed = true;
+};
+
+Measurement run_rounds(core::Engine& engine, std::size_t rounds) {
+  // First step pays the one-time baseline build (or legacy snapshot);
+  // warm up outside the timed section.
+  Measurement m;
+  m.stayed_fixed &= !engine.step().changed;
+  bench::WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r)
+    m.stayed_fixed &= !engine.step().changed;
+  m.ns_per_round = timer.elapsed_ns() / static_cast<double>(rounds);
+  m.edge_bytes = engine.network().edge_set_bytes();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  bench::banner("round_cost: steady-state ns/round, incremental vs legacy",
+                "hot-path overhaul (ISSUE 1); enables the paper-scale runs");
+
+  std::vector<std::size_t> sizes;
+  for (auto v : cli.get_int_list("sizes", {1000, 10000, 50000}))
+    if (v > 0) sizes.push_back(static_cast<std::size_t>(v));
+  if (sizes.empty()) {
+    std::fprintf(stderr, "error: --sizes needs at least one positive size\n");
+    return 2;
+  }
+  const auto rounds =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("rounds", 30)));
+  const auto legacy_rounds = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("legacy-rounds", 10)));
+  const auto threads = static_cast<unsigned>(
+      std::max<std::int64_t>(1, cli.get_int("threads", 1)));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  util::Table table({"n", "live nodes", "edges", "incr ns/round",
+                     "legacy ns/round", "speedup", "edge-set MiB"});
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t n : sizes) {
+    core::Network net = bench::stable_network(n, seed);
+    const auto nodes = net.live_slot_count();
+    const auto edges = net.edge_count(core::EdgeKind::kUnmarked) +
+                       net.edge_count(core::EdgeKind::kRing) +
+                       net.edge_count(core::EdgeKind::kConnection);
+
+    core::Engine incr(net, {.threads = threads});
+    const Measurement mi = run_rounds(incr, rounds);
+
+    core::Engine legacy(std::move(net),
+                        {.threads = threads, .legacy_fixpoint = true});
+    const Measurement ml = run_rounds(legacy, legacy_rounds);
+
+    if (!mi.stayed_fixed || !ml.stayed_fixed)
+      std::printf("WARNING: n=%zu did not stay at the fixpoint\n", n);
+
+    const double speedup = ml.ns_per_round / mi.ns_per_round;
+    const double mib =
+        static_cast<double>(mi.edge_bytes) / (1024.0 * 1024.0);
+    table.add_row({std::to_string(n), std::to_string(nodes),
+                   std::to_string(edges),
+                   std::to_string(static_cast<std::int64_t>(mi.ns_per_round)),
+                   std::to_string(static_cast<std::int64_t>(ml.ns_per_round)),
+                   std::to_string(speedup).substr(0, 5),
+                   std::to_string(mib).substr(0, 6)});
+    csv_rows.push_back({static_cast<double>(n), static_cast<double>(nodes),
+                        static_cast<double>(edges), mi.ns_per_round,
+                        ml.ns_per_round, speedup,
+                        static_cast<double>(mi.edge_bytes)});
+  }
+  table.print(std::cout);
+  bench::emit_csv(cli.get("csv", ""),
+                  {"n", "live_nodes", "edges", "incr_ns_per_round",
+                   "legacy_ns_per_round", "speedup", "edge_set_bytes"},
+                  csv_rows);
+  return 0;
+}

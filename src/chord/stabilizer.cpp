@@ -64,8 +64,10 @@ std::uint32_t ChordStabilizer::lookup_via_pointers(std::uint32_t from,
 
 void ChordStabilizer::step() {
   const std::size_t n = pos_.size();
-  std::vector<std::uint32_t> succ_next = succ_;
-  std::vector<std::uint32_t> pred_next = pred_;
+  std::vector<std::uint32_t>& succ_next = succ_next_;
+  std::vector<std::uint32_t>& pred_next = pred_next_;
+  succ_next = succ_;
+  pred_next = pred_;
   // stabilize: x asks succ(x) for its predecessor; adopts it when in between.
   for (std::uint32_t v = 0; v < n; ++v) {
     const std::uint32_t s = succ_[v];
@@ -85,8 +87,8 @@ void ChordStabilizer::step() {
         ident::cw_dist(pos_[v], pos_[s]) < ident::cw_dist(pos_[cur], pos_[s]))
       pred_next[s] = v;
   }
-  succ_ = std::move(succ_next);
-  pred_ = std::move(pred_next);
+  succ_.swap(succ_next_);
+  pred_.swap(pred_next_);
   // fix_fingers: one exponent per round, round-robin, via lookup over the
   // freshly updated pointers.
   const int i = finger_cursor_ + 1;

@@ -51,6 +51,8 @@ class ChordStabilizer {
  private:
   std::vector<RingPos> pos_;
   std::vector<std::uint32_t> succ_, pred_;
+  // Next-round staging, reused across rounds so step() allocates nothing.
+  std::vector<std::uint32_t> succ_next_, pred_next_;
   std::vector<std::vector<std::uint32_t>> fingers_;  // by exponent i-1
   std::vector<std::uint32_t> ideal_succ_;
   std::vector<int> ideal_m_;

@@ -24,121 +24,180 @@ Engine::Engine(Network net, EngineOptions opt)
   if (opt_.threads == 0) opt_.threads = 1;
 }
 
-void Engine::run_peers(std::vector<DelayedOp>& ops,
-                       std::vector<Slot>& rl_next,
-                       std::vector<Slot>& rr_next,
-                       std::vector<RuleActivity>& shard_activity) {
-  std::vector<std::uint32_t> owners = net_.live_owners();
+void Engine::run_peers() {
+  net_.live_owners_into(owners_);
   // Activation faults: a sleeping peer keeps its state and publishes last
   // round's rl/rr unchanged; messages addressed to it are still delivered.
   if (opt_.sleep_probability > 0.0) {
-    std::vector<std::uint32_t> awake;
-    awake.reserve(owners.size());
-    for (std::uint32_t o : owners)
+    std::size_t w = 0;
+    for (std::uint32_t o : owners_)
       if (!fault_coin(opt_.fault_seed, round_, o, opt_.sleep_probability))
-        awake.push_back(o);
-    owners = std::move(awake);
+        owners_[w++] = o;
+    owners_.resize(w);
   }
   auto run_range = [&](std::size_t begin, std::size_t end,
-                       std::vector<DelayedOp>& out, RuleActivity& act) {
+                       std::vector<DelayedOp>& out, RuleActivity& act,
+                       RuleArena& arena) {
     for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t owner = owners[i];
-      RuleCtx ctx(net_, owner, out);
+      const std::uint32_t owner = owners_[i];
+      RuleCtx ctx(net_, owner, out, arena);
       Rules::run_all(ctx);
       act += ctx.activity;
-      for (std::uint32_t idx = 0; idx < kSlotsPerOwner; ++idx) {
+      // Indices above ctx.max_index are dead after rule 1 and their rl/rr
+      // stay at the rl_next_/rr_next_ defaults: kInvalidSlot in the
+      // synchronous model, and under activation faults the pre-round values,
+      // which normalize() clears for dead slots either way.
+      for (std::uint32_t idx = 0; idx <= ctx.max_index; ++idx) {
         const Slot s = slot_of(owner, idx);
-        rl_next[s] = ctx.rl_cur[idx];
-        rr_next[s] = ctx.rr_cur[idx];
+        rl_next_[s] = ctx.rl_cur[idx];
+        rr_next_[s] = ctx.rr_cur[idx];
       }
     }
   };
   const unsigned threads =
-      std::min<unsigned>(opt_.threads, static_cast<unsigned>(owners.size()));
-  if (threads <= 1 || owners.size() < 64) {
-    shard_activity.resize(1);
-    run_range(0, owners.size(), ops, shard_activity[0]);
+      std::min<unsigned>(opt_.threads, static_cast<unsigned>(owners_.size()));
+  if (threads <= 1 || owners_.size() < 64) {
+    if (arenas_.empty()) arenas_.resize(1);
+    shard_activity_.assign(1, RuleActivity{});
+    run_range(0, owners_.size(), ops_, shard_activity_[0], arenas_[0]);
     return;
   }
   // NOTE(parallel-safety): a peer mutates only its own slots' sets; all
   // cross-peer effects go to the per-thread op queues, and the only foreign
   // reads are static attributes and previous-round rl/rr. rl_next/rr_next
-  // writes are disjoint per peer. Determinism: queues are concatenated in
-  // shard order and sorted at commit.
-  std::vector<std::vector<DelayedOp>> shard_ops(threads);
-  shard_activity.resize(threads);
+  // writes are disjoint per peer, dirty marks are per-slot/per-owner, and
+  // the network's metric counters are relaxed atomics. Determinism: queues
+  // are concatenated in shard order and sorted at commit.
+  if (arenas_.size() < threads) arenas_.resize(threads);
+  if (shard_ops_.size() < threads) shard_ops_.resize(threads);
+  shard_activity_.assign(threads, RuleActivity{});
   std::vector<std::thread> workers;
   workers.reserve(threads);
-  const std::size_t chunk = (owners.size() + threads - 1) / threads;
+  const std::size_t chunk = (owners_.size() + threads - 1) / threads;
   for (unsigned t = 0; t < threads; ++t) {
-    const std::size_t begin = std::min<std::size_t>(t * chunk, owners.size());
+    const std::size_t begin = std::min<std::size_t>(t * chunk, owners_.size());
     const std::size_t end =
-        std::min<std::size_t>(begin + chunk, owners.size());
+        std::min<std::size_t>(begin + chunk, owners_.size());
+    shard_ops_[t].clear();
     workers.emplace_back([&, begin, end, t] {
-      run_range(begin, end, shard_ops[t], shard_activity[t]);
+      run_range(begin, end, shard_ops_[t], shard_activity_[t], arenas_[t]);
     });
   }
   for (auto& w : workers) w.join();
-  for (auto& so : shard_ops)
-    ops.insert(ops.end(), so.begin(), so.end());
+  for (unsigned t = 0; t < threads; ++t)
+    ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
 }
 
 RoundMetrics Engine::step() {
-  if (prev_state_.empty()) prev_state_ = net_.serialize_state();
+  if (opt_.legacy_fixpoint) {
+    if (prev_state_.empty()) prev_state_ = net_.serialize_state();
+  } else if (!baseline_ready_) {
+    net_.rebuild_change_baseline();
+    baseline_ready_ = true;
+  }
 
-  std::vector<DelayedOp> ops;
-  std::vector<Slot> rl_next(net_.slot_count(), kInvalidSlot);
-  std::vector<Slot> rr_next(net_.slot_count(), kInvalidSlot);
+  ops_.clear();
+  rl_next_.assign(net_.slot_count(), kInvalidSlot);
+  rr_next_.assign(net_.slot_count(), kInvalidSlot);
   // A sleeping peer's rl/rr must persist, so default them to current values.
   if (opt_.sleep_probability > 0.0) {
     for (Slot s = 0; s < net_.slot_count(); ++s) {
-      rl_next[s] = net_.rl(s);
-      rr_next[s] = net_.rr(s);
+      rl_next_[s] = net_.rl(s);
+      rr_next_[s] = net_.rr(s);
     }
   }
-  std::vector<RuleActivity> shard_activity;
-  run_peers(ops, rl_next, rr_next, shard_activity);
+  run_peers();
   activity_ = RuleActivity{};
-  for (const auto& act : shard_activity) activity_ += act;
+  for (const auto& act : shard_activity_) activity_ += act;
 
-  // Commit: deliver all delayed assignments simultaneously, in deterministic
-  // order. A message to a meanwhile-deleted virtual node is absorbed by the
-  // owning peer's u_m (see DESIGN.md: ghost re-homing); a message to or from
-  // a departed peer is dropped.
-  std::sort(ops.begin(), ops.end());
-  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+  // Commit: deliver all delayed assignments simultaneously. A message to a
+  // meanwhile-deleted virtual node is absorbed by the owning peer's u_m (see
+  // DESIGN.md: ghost re-homing); a message to or from a departed peer is
+  // dropped. Set insertion into the sorted edge sets is commutative, so the
+  // committed state is independent of delivery order -- which admits three
+  // pipelines with identical results:
+  //   * loss-free (hot path): apply each op directly, no canonical ordering
+  //     needed. Measured fastest -- the per-(target,kind) groups are tiny, so
+  //     the O(ops log ops) sorts cost more than they save.
+  //   * lossy: sort + dedup for the deterministic per-index drop coins, then
+  //     group by (target, kind) and bulk-merge each group in one pass.
+  //   * legacy_fixpoint: the pre-overhaul pipeline (sort + dedup + one
+  //     binary-searched insert per op), kept for the bench comparison.
   auto resolve = [this](Slot s) -> Slot {
     if (net_.alive(s)) return s;
     const std::uint32_t owner = owner_of(s);
     if (!net_.owner_alive(owner)) return kInvalidSlot;
     return slot_of(owner, net_.max_live_index(owner));
   };
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (opt_.message_loss > 0.0 &&
-        fault_coin(opt_.fault_seed ^ 0xD70Full, round_, i,
-                   opt_.message_loss)) {
-      ++dropped_;
-      continue;
+  if (opt_.message_loss <= 0.0 && !opt_.legacy_fixpoint) {
+    for (const DelayedOp& op : ops_) {
+      const Slot target = resolve(op.target);
+      const Slot payload = resolve(op.payload);
+      if (target == kInvalidSlot || payload == kInvalidSlot) continue;
+      net_.add_edge(target, op.kind, payload);
     }
-    const Slot target = resolve(ops[i].target);
-    const Slot payload = resolve(ops[i].payload);
-    if (target == kInvalidSlot || payload == kInvalidSlot) continue;
-    net_.add_edge(target, ops[i].kind, payload);
+  } else {
+    std::sort(ops_.begin(), ops_.end());
+    ops_.erase(std::unique(ops_.begin(), ops_.end()), ops_.end());
+    resolved_.clear();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (opt_.message_loss > 0.0 &&
+          fault_coin(opt_.fault_seed ^ 0xD70Full, round_, i,
+                     opt_.message_loss)) {
+        ++dropped_;
+        continue;
+      }
+      const Slot target = resolve(ops_[i].target);
+      const Slot payload = resolve(ops_[i].payload);
+      if (target == kInvalidSlot || payload == kInvalidSlot) continue;
+      if (opt_.legacy_fixpoint) {
+        net_.add_edge(target, ops_[i].kind, payload);
+      } else {
+        resolved_.push_back({target, ops_[i].kind, payload});
+      }
+    }
+    // Batched delivery: group by (target, kind) and merge each group into
+    // the sorted edge set in a single pass. Payloads are pre-sorted by the
+    // network order so the merge input is ordered.
+    std::sort(resolved_.begin(), resolved_.end(),
+              [this](const DelayedOp& a, const DelayedOp& b) {
+                if (a.target != b.target) return a.target < b.target;
+                if (a.kind != b.kind)
+                  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                return net_.order_key(a.payload) < net_.order_key(b.payload);
+              });
+    for (std::size_t i = 0; i < resolved_.size();) {
+      const Slot target = resolved_[i].target;
+      const EdgeKind kind = resolved_[i].kind;
+      payload_buf_.clear();
+      for (; i < resolved_.size() && resolved_[i].target == target &&
+             resolved_[i].kind == kind;
+           ++i) {
+        const Slot p = resolved_[i].payload;
+        if (payload_buf_.empty() || payload_buf_.back() != p)
+          payload_buf_.push_back(p);
+      }
+      net_.add_edges_bulk(target, kind, payload_buf_);
+    }
   }
   // Publish this round's rl/rr (rule 3 results reference real slots only;
   // normalize() clears any that refer to dead slots).
   for (Slot s = 0; s < net_.slot_count(); ++s) {
-    net_.set_rl(s, rl_next[s]);
-    net_.set_rr(s, rr_next[s]);
+    net_.set_rl(s, rl_next_[s]);
+    net_.set_rr(s, rr_next_[s]);
   }
   net_.normalize();
   ++round_;
 
-  auto state = net_.serialize_state();
   RoundMetrics mt = measure();
   mt.round = round_;
-  mt.changed = state != prev_state_;
-  prev_state_ = std::move(state);
+  if (opt_.legacy_fixpoint) {
+    auto state = net_.serialize_state();
+    mt.changed = state != prev_state_;
+    prev_state_ = std::move(state);
+  } else {
+    mt.changed = net_.consume_round_changes();
+  }
   return mt;
 }
 

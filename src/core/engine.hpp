@@ -44,6 +44,12 @@ struct EngineOptions {
   /// shard peers over threads (deterministic result either way).
   unsigned threads = 1;
 
+  /// Detect the fixpoint by re-serializing the entire network each round
+  /// (the pre-overhaul behavior) instead of the incremental per-slot change
+  /// tracking. Same observable results, O(state) per round; kept flag-gated
+  /// for comparison in bench/round_cost and the equivalence tests.
+  bool legacy_fixpoint = false;
+
   // -- fault injection (beyond the paper's model; see bench/fault_tolerance)
   /// Probability that a peer does NOT act in a given round (asynchrony /
   /// partial activation). 0 = the paper's fully synchronous model. With
@@ -78,8 +84,12 @@ class Engine {
   }
 
   /// Call after out-of-band mutations (churn, fuzzing) so that fixpoint
-  /// detection does not compare against a stale snapshot.
-  void reset_change_tracking() { prev_state_.clear(); }
+  /// detection does not compare against a stale snapshot: the next round's
+  /// `changed` is measured against the state at that round's start.
+  void reset_change_tracking() {
+    prev_state_.clear();
+    baseline_ready_ = false;
+  }
 
   /// Rule actions fired in the most recent round (see RuleActivity).
   [[nodiscard]] const RuleActivity& last_activity() const noexcept {
@@ -96,11 +106,21 @@ class Engine {
   std::uint64_t round_ = 0;
   std::uint64_t dropped_ = 0;
   RuleActivity activity_;
-  std::vector<std::uint64_t> prev_state_;
+  std::vector<std::uint64_t> prev_state_;  // legacy_fixpoint only
+  bool baseline_ready_ = false;            // incremental-tracking baseline
 
-  void run_peers(std::vector<DelayedOp>& ops, std::vector<Slot>& rl_next,
-                 std::vector<Slot>& rr_next,
-                 std::vector<RuleActivity>& shard_activity);
+  // Round working set, reused across rounds so a steady-state round
+  // allocates nothing (capacity persists between calls).
+  std::vector<std::uint32_t> owners_;
+  std::vector<DelayedOp> ops_;
+  std::vector<DelayedOp> resolved_;
+  std::vector<Slot> payload_buf_;
+  std::vector<Slot> rl_next_, rr_next_;
+  std::vector<RuleActivity> shard_activity_;
+  std::vector<std::vector<DelayedOp>> shard_ops_;
+  std::vector<RuleArena> arenas_;  // one per worker thread
+
+  void run_peers();
 };
 
 }  // namespace rechord::core

@@ -1,6 +1,7 @@
 #include "core/network.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 
@@ -19,6 +20,9 @@ void Network::grow_slots(std::uint32_t owner) {
   alive_.resize(want, 0);
   rl_.resize(want, kInvalidSlot);
   rr_.resize(want, kInvalidSlot);
+  slot_dirty_.resize(want, 0);
+  slot_digest_.resize(want, 0);  // 0 == digest of a dead slot
+  owner_dirty_.resize(owner + 1, 0);
   for (auto& per_kind : sets_) per_kind.resize(want);
 }
 
@@ -32,15 +36,8 @@ std::uint32_t Network::add_owner(RingPos id) {
   grow_slots(owner);
   for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i)
     pos_[slot_of(owner, i)] = ident::virtual_pos(id, static_cast<int>(i));
-  alive_[slot_of(owner, 0)] = 1;
+  set_alive(slot_of(owner, 0), true);
   return owner;
-}
-
-std::uint32_t Network::alive_owner_count() const noexcept {
-  std::uint32_t n = 0;
-  for (std::uint32_t o = 0; o < owner_count(); ++o)
-    if (owner_alive(o)) ++n;
-  return n;
 }
 
 std::uint32_t Network::max_live_index(std::uint32_t owner) const noexcept {
@@ -51,10 +48,15 @@ std::uint32_t Network::max_live_index(std::uint32_t owner) const noexcept {
 
 std::vector<std::uint32_t> Network::live_owners() const {
   std::vector<std::uint32_t> out;
+  live_owners_into(out);
+  return out;
+}
+
+void Network::live_owners_into(std::vector<std::uint32_t>& out) const {
+  out.clear();
   out.reserve(owner_count());
   for (std::uint32_t o = 0; o < owner_count(); ++o)
     if (owner_alive(o)) out.push_back(o);
-  return out;
 }
 
 std::vector<Slot> Network::live_slots() const {
@@ -82,7 +84,61 @@ bool Network::add_edge(Slot s, EdgeKind k, Slot target) {
       [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
   if (it != set.end() && *it == target) return false;
   set.insert(it, target);
+  if (alive_[s]) edge_live_[static_cast<std::size_t>(k)].add(1);
+  // `target` may belong to another peer whose worker thread is concurrently
+  // flipping the flag in set_alive, so read it atomically (relaxed: either
+  // value is safe -- a spurious dead_refs_ only costs one normalize scan,
+  // and a real death sets the flag in set_alive itself).
+  if (!alive_[s] || !std::atomic_ref<std::uint8_t>(alive_[target])
+                         .load(std::memory_order_relaxed))
+    dead_refs_.store(1);
+  mark_dirty(s);
   return true;
+}
+
+std::size_t Network::add_edges_bulk(Slot s, EdgeKind k,
+                                    std::span<const Slot> targets) {
+  if (targets.empty()) return 0;
+  if (targets.size() == 1) return add_edge(s, k, targets[0]) ? 1 : 0;
+  auto& set = sets_[static_cast<std::size_t>(k)][s];
+  auto key_lt = [this](Slot a, Slot b) { return order_key(a) < order_key(b); };
+  merge_buf_.clear();
+  merge_buf_.reserve(set.size() + targets.size());
+  std::size_t added = 0;
+  bool dead_target = false;
+  std::size_t i = 0, j = 0;
+  while (i < set.size() && j < targets.size()) {
+    const Slot t = targets[j];
+    if (t == s) {
+      ++j;
+    } else if (key_lt(set[i], t)) {
+      merge_buf_.push_back(set[i++]);
+    } else if (key_lt(t, set[i])) {
+      merge_buf_.push_back(t);
+      if (!alive_[t]) dead_target = true;
+      ++added;
+      ++j;
+    } else {  // equal order keys => same slot: duplicate of an existing edge
+      merge_buf_.push_back(set[i++]);
+      ++j;
+    }
+  }
+  for (; i < set.size(); ++i) merge_buf_.push_back(set[i]);
+  for (; j < targets.size(); ++j) {
+    const Slot t = targets[j];
+    if (t == s) continue;
+    merge_buf_.push_back(t);
+    if (!alive_[t]) dead_target = true;
+    ++added;
+  }
+  if (added == 0) return 0;
+  set.assign(merge_buf_.begin(), merge_buf_.end());
+  if (alive_[s])
+    edge_live_[static_cast<std::size_t>(k)].add(
+        static_cast<std::int64_t>(added));
+  if (!alive_[s] || dead_target) dead_refs_.store(1);
+  mark_dirty(s);
+  return added;
 }
 
 bool Network::remove_edge(Slot s, EdgeKind k, Slot target) {
@@ -93,6 +149,8 @@ bool Network::remove_edge(Slot s, EdgeKind k, Slot target) {
       [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
   if (it == set.end() || *it != target) return false;
   set.erase(it);
+  if (alive_[s]) edge_live_[static_cast<std::size_t>(k)].add(-1);
+  mark_dirty(s);
   return true;
 }
 
@@ -106,10 +164,20 @@ bool Network::has_edge(Slot s, EdgeKind k, Slot target) const noexcept {
 }
 
 void Network::clear_edges(Slot s) {
-  for (auto& per_kind : sets_) per_kind[s].clear();
+  bool any = false;
+  for (int k = 0; k < kEdgeKinds; ++k) {
+    auto& set = sets_[k][s];
+    if (set.empty()) continue;
+    if (alive_[s])
+      edge_live_[k].add(-static_cast<std::int64_t>(set.size()));
+    set.clear();
+    any = true;
+  }
+  if (any) mark_dirty(s);
 }
 
 void Network::normalize() {
+  if (!dead_refs_.load()) return;  // no dead reference can exist (tracked)
   // Resolve a (possibly dead) reference to a live slot, or kInvalidSlot.
   auto resolve = [this](Slot t) -> Slot {
     if (alive_[t]) return t;
@@ -117,12 +185,15 @@ void Network::normalize() {
     if (!owner_alive(owner)) return kInvalidSlot;  // peer left the system
     return slot_of(owner, max_live_index(owner));
   };
-  std::vector<Slot> scratch;
+  auto& scratch = merge_buf_;
   for (Slot s = 0; s < slot_count(); ++s) {
-    for (auto& per_kind : sets_) {
-      auto& set = per_kind[s];
+    for (int k = 0; k < kEdgeKinds; ++k) {
+      auto& set = sets_[k][s];
       if (!alive_[s]) {
-        set.clear();
+        if (!set.empty()) {
+          set.clear();
+          mark_dirty(s);
+        }
         continue;
       }
       bool dirty = false;
@@ -143,15 +214,20 @@ void Network::normalize() {
       });
       scratch.erase(std::unique(scratch.begin(), scratch.end()),
                     scratch.end());
-      set = scratch;
+      edge_live_[k].add(static_cast<std::int64_t>(scratch.size()) -
+                        static_cast<std::int64_t>(set.size()));
+      set.assign(scratch.begin(), scratch.end());
+      mark_dirty(s);
     }
     if (alive_[s]) {
-      if (rl_[s] != kInvalidSlot && !alive_[rl_[s]]) rl_[s] = kInvalidSlot;
-      if (rr_[s] != kInvalidSlot && !alive_[rr_[s]]) rr_[s] = kInvalidSlot;
+      if (rl_[s] != kInvalidSlot && !alive_[rl_[s]]) set_rl(s, kInvalidSlot);
+      if (rr_[s] != kInvalidSlot && !alive_[rr_[s]]) set_rr(s, kInvalidSlot);
     } else {
-      rl_[s] = rr_[s] = kInvalidSlot;
+      set_rl(s, kInvalidSlot);
+      set_rr(s, kInvalidSlot);
     }
   }
+  dead_refs_.store(0);
 }
 
 std::vector<std::uint64_t> Network::serialize_state() const {
@@ -176,24 +252,49 @@ std::uint64_t Network::state_fingerprint() const {
   return h;
 }
 
-std::size_t Network::edge_count(EdgeKind k) const noexcept {
-  std::size_t n = 0;
-  for (Slot s = 0; s < slot_count(); ++s)
-    if (alive_[s]) n += sets_[static_cast<std::size_t>(k)][s].size();
-  return n;
+std::uint64_t Network::slot_digest(Slot s) const noexcept {
+  if (!alive_[s]) return 0;  // dead slots are invisible to serialize_state()
+  std::uint64_t h = util::mix64(0x517DD16E57ULL ^ s);
+  h = util::mix64(h ^ ((static_cast<std::uint64_t>(rl_[s]) << 32) | rr_[s]));
+  for (const auto& per_kind : sets_) {
+    h = util::mix64(h ^ (0xED6E0000ULL | per_kind[s].size()));
+    for (Slot t : per_kind[s]) h = util::mix64(h ^ t);
+  }
+  return h;
 }
 
-std::size_t Network::live_slot_count() const noexcept {
-  std::size_t n = 0;
-  for (Slot s = 0; s < slot_count(); ++s) n += alive_[s];
-  return n;
+bool Network::consume_round_changes() {
+  bool changed = false;
+  for (std::uint32_t o = 0; o < owner_count(); ++o) {
+    if (!owner_dirty_[o]) continue;
+    owner_dirty_[o] = 0;
+    for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+      const Slot s = slot_of(o, i);
+      if (!slot_dirty_[s]) continue;
+      slot_dirty_[s] = 0;
+      const std::uint64_t d = slot_digest(s);
+      if (d != slot_digest_[s]) {
+        slot_digest_[s] = d;
+        changed = true;
+      }
+    }
+  }
+  return changed;
 }
 
-std::size_t Network::live_virtual_count() const noexcept {
-  std::size_t n = 0;
-  for (Slot s = 0; s < slot_count(); ++s)
-    if (alive_[s] && !is_real_slot(s)) ++n;
-  return n;
+void Network::rebuild_change_baseline() {
+  for (Slot s = 0; s < slot_count(); ++s) {
+    slot_digest_[s] = slot_digest(s);
+    slot_dirty_[s] = 0;
+  }
+  std::fill(owner_dirty_.begin(), owner_dirty_.end(), 0);
+}
+
+std::size_t Network::edge_set_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& per_kind : sets_)
+    for (const auto& set : per_kind) bytes += set.capacity() * sizeof(Slot);
+  return bytes;
 }
 
 std::string Network::describe(Slot s) const {

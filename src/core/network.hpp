@@ -8,7 +8,13 @@
 // of the protocol rules are binary searches. The order refines the paper's
 // "<" on identifiers: ties (measure zero for random ids) are broken
 // deterministically.
+//
+// Change tracking (see DESIGN.md, "Incremental change tracking"): every
+// mutator marks the touched slot dirty; consume_round_changes() re-hashes
+// only the dirty slots against a per-slot digest baseline, so an unchanged
+// round is detected in O(live slots) instead of serializing the whole state.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -17,6 +23,32 @@
 #include "core/types.hpp"
 
 namespace rechord::core {
+
+namespace detail {
+
+/// Copyable relaxed atomic cell. Rule workers on different threads bump the
+/// metric counters concurrently; the updates are commutative, so relaxed
+/// ordering suffices and the end-of-round reads are exact.
+template <typename T>
+class RelaxedCell {
+ public:
+  RelaxedCell() = default;
+  RelaxedCell(const RelaxedCell& o) noexcept : v_(o.load()) {}
+  RelaxedCell& operator=(const RelaxedCell& o) noexcept {
+    store(o.load());
+    return *this;
+  }
+  [[nodiscard]] T load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void store(T v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(T d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+}  // namespace detail
 
 class Network {
  public:
@@ -33,7 +65,9 @@ class Network {
   [[nodiscard]] bool owner_alive(std::uint32_t owner) const noexcept {
     return alive_[slot_of(owner, 0)];
   }
-  [[nodiscard]] std::uint32_t alive_owner_count() const noexcept;
+  [[nodiscard]] std::uint32_t alive_owner_count() const noexcept {
+    return static_cast<std::uint32_t>(live_reals_.load());
+  }
   [[nodiscard]] RingPos owner_pos(std::uint32_t owner) const noexcept {
     return owner_pos_[owner];
   }
@@ -42,6 +76,8 @@ class Network {
   std::uint32_t add_owner(RingPos id);
   /// Owner ids of all live peers, ascending.
   [[nodiscard]] std::vector<std::uint32_t> live_owners() const;
+  /// Allocation-free variant: fills `out` with live owner ids, ascending.
+  void live_owners_into(std::vector<std::uint32_t>& out) const;
 
   // -- slots ----------------------------------------------------------------
 
@@ -59,8 +95,23 @@ class Network {
   [[nodiscard]] std::vector<Slot> live_slots_of(std::uint32_t owner) const;
 
   /// Marks a slot alive/dead. Does not touch edges; the engine's commit pass
-  /// re-homes or drops references to dead slots.
-  void set_alive(Slot s, bool alive) { alive_[s] = alive; }
+  /// re-homes or drops references to dead slots. The flag write is a relaxed
+  /// atomic store: during the sharded rule phase add_edge on another thread
+  /// may read a foreign slot's flag for dead_refs_ tracking (any torn-free
+  /// value is conservative there), and plain byte writes would be a formal
+  /// data race with that read.
+  void set_alive(Slot s, bool alive) {
+    if (alive_[s] == static_cast<std::uint8_t>(alive ? 1 : 0)) return;
+    const std::int64_t delta = alive ? 1 : -1;
+    std::atomic_ref<std::uint8_t>(alive_[s]).store(
+        alive ? 1 : 0, std::memory_order_relaxed);
+    live_slots_.add(delta);
+    if (is_real_slot(s)) live_reals_.add(delta);
+    for (int k = 0; k < kEdgeKinds; ++k)
+      edge_live_[k].add(delta * static_cast<std::int64_t>(sets_[k][s].size()));
+    if (!alive) dead_refs_.store(1);
+    mark_dirty(s);
+  }
 
   // -- total order ----------------------------------------------------------
 
@@ -82,6 +133,10 @@ class Network {
   }
   /// Inserts (s -> target); returns false for self-edges and duplicates.
   bool add_edge(Slot s, EdgeKind k, Slot target);
+  /// Inserts (s -> t) for every t in `targets` in one merge pass; `targets`
+  /// must be sorted by order_key and free of duplicates. Equivalent to
+  /// calling add_edge per target; returns the number actually inserted.
+  std::size_t add_edges_bulk(Slot s, EdgeKind k, std::span<const Slot> targets);
   /// Removes (s -> target); returns false if absent.
   bool remove_edge(Slot s, EdgeKind k, Slot target);
   [[nodiscard]] bool has_edge(Slot s, EdgeKind k, Slot target) const noexcept;
@@ -91,8 +146,18 @@ class Network {
 
   [[nodiscard]] Slot rl(Slot s) const noexcept { return rl_[s]; }
   [[nodiscard]] Slot rr(Slot s) const noexcept { return rr_[s]; }
-  void set_rl(Slot s, Slot v) noexcept { rl_[s] = v; }
-  void set_rr(Slot s, Slot v) noexcept { rr_[s] = v; }
+  void set_rl(Slot s, Slot v) noexcept {
+    if (rl_[s] == v) return;
+    rl_[s] = v;
+    if (v != kInvalidSlot && !alive_[v]) dead_refs_.store(1);
+    mark_dirty(s);
+  }
+  void set_rr(Slot s, Slot v) noexcept {
+    if (rr_[s] == v) return;
+    rr_[s] = v;
+    if (v != kInvalidSlot && !alive_[v]) dead_refs_.store(1);
+    mark_dirty(s);
+  }
 
   // -- whole-state operations -------------------------------------------------
 
@@ -100,6 +165,8 @@ class Network {
   /// owner's references are dropped), removes self-edges and duplicates.
   /// Physically, an edge to a virtual node is a connection to the peer that
   /// simulates it, so the peer re-homes links for deleted siblings.
+  /// No-op unless a mutation since the last normalize() could have introduced
+  /// a dead reference (slot death, or an edge/rl/rr stored to a dead slot).
   void normalize();
 
   /// Deterministic serialization of the full state (alive flags, edges,
@@ -109,11 +176,35 @@ class Network {
   /// 64-bit digest of serialize_state() (for cheap change tracking).
   [[nodiscard]] std::uint64_t state_fingerprint() const;
 
+  // -- incremental change tracking -------------------------------------------
+
+  /// True iff some dirty slot's state differs from the digest baseline, i.e.
+  /// when serialize_state() would differ from its value at the last baseline
+  /// point (equivalence holds up to a 64-bit digest collision, ~2^-64 per
+  /// dirty slot -- the legacy serialize comparison is exact). Clears the
+  /// dirty marks and advances the baseline to the current state. O(live
+  /// slots) when nothing changed.
+  bool consume_round_changes();
+
+  /// Recomputes the digest baseline from the full current state (O(state)).
+  /// Call after out-of-band bulk edits when the next consume_round_changes()
+  /// should be measured against the state as of *now*.
+  void rebuild_change_baseline();
+
   // -- metrics ---------------------------------------------------------------
 
-  [[nodiscard]] std::size_t edge_count(EdgeKind k) const noexcept;
-  [[nodiscard]] std::size_t live_slot_count() const noexcept;
-  [[nodiscard]] std::size_t live_virtual_count() const noexcept;
+  [[nodiscard]] std::size_t edge_count(EdgeKind k) const noexcept {
+    return static_cast<std::size_t>(
+        edge_live_[static_cast<std::size_t>(k)].load());
+  }
+  [[nodiscard]] std::size_t live_slot_count() const noexcept {
+    return static_cast<std::size_t>(live_slots_.load());
+  }
+  [[nodiscard]] std::size_t live_virtual_count() const noexcept {
+    return static_cast<std::size_t>(live_slots_.load() - live_reals_.load());
+  }
+  /// Bytes currently reserved by all edge-set vectors (bench instrumentation).
+  [[nodiscard]] std::size_t edge_set_bytes() const noexcept;
 
   /// Human-readable description of a slot, e.g. "0.250000(v3@7)" -- used in
   /// test failure messages and DOT labels.
@@ -127,6 +218,26 @@ class Network {
   // sets_[kind][slot] = sorted vector of targets (by order_key).
   std::vector<std::vector<Slot>> sets_[kEdgeKinds];
 
+  // Change tracking. A peer's rule phase only dirties its own slots, so the
+  // per-slot/per-owner marks are written race-free under the engine's
+  // peer-sharded parallelism; the counters are relaxed atomics.
+  std::vector<std::uint8_t> slot_dirty_;    // per slot
+  std::vector<std::uint8_t> owner_dirty_;   // per owner
+  std::vector<std::uint64_t> slot_digest_;  // per slot baseline
+  detail::RelaxedCell<std::int64_t> edge_live_[kEdgeKinds];  // live slots only
+  detail::RelaxedCell<std::int64_t> live_slots_;
+  detail::RelaxedCell<std::int64_t> live_reals_;
+  /// Set when a mutation may have introduced a reference to a dead slot;
+  /// cleared by normalize() once every reference is live again.
+  detail::RelaxedCell<std::uint8_t> dead_refs_;
+
+  std::vector<Slot> merge_buf_;  // single-threaded scratch (commit/normalize)
+
+  void mark_dirty(Slot s) noexcept {
+    slot_dirty_[s] = 1;
+    owner_dirty_[owner_of(s)] = 1;
+  }
+  [[nodiscard]] std::uint64_t slot_digest(Slot s) const noexcept;
   void grow_slots(std::uint32_t owner);
 };
 

@@ -57,10 +57,46 @@ void sort_unique(const Network& net, std::vector<Slot>& v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
 }
 
+// out := a ∪ b where both inputs are sorted by order_key and duplicate-free;
+// a linear merge (the order is strict, so equal keys mean the same slot).
+void merge_sorted(const Network& net, std::vector<Slot>& out,
+                  const std::vector<Slot>& a, const std::vector<Slot>& b) {
+  out.clear();
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Key ka = net.order_key(a[i]);
+    const Key kb = net.order_key(b[j]);
+    if (ka < kb) {
+      out.push_back(a[i++]);
+    } else if (kb < ka) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i++]);
+      ++j;
+    }
+  }
+  out.insert(out.end(), a.begin() + static_cast<std::ptrdiff_t>(i), a.end());
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(j), b.end());
+}
+
+// Rules 3/4 edit the unmarked sets after the round's first refresh_known;
+// rule 5 is the only later consumer of ctx.known, and in steady state it
+// rarely needs it -- so the re-refresh is done lazily here.
+void ensure_known_fresh(RuleCtx& ctx) {
+  if (!ctx.known_stale) return;
+  ctx.known_stale = false;
+  Rules::refresh_known(ctx);
+}
+
 }  // namespace
 
 void Rules::refresh_siblings(RuleCtx& ctx) {
-  ctx.siblings = ctx.net.live_slots_of(ctx.owner);
+  ctx.siblings.clear();
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+    const Slot s = slot_of(ctx.owner, i);
+    if (ctx.net.alive(s)) ctx.siblings.push_back(s);
+  }
   sort_unique(ctx.net, ctx.siblings);
 }
 
@@ -81,7 +117,9 @@ int Rules::compute_m(const Network& net, std::uint32_t owner) {
   const RingPos u = net.owner_pos(owner);
   RingPos best_gap = 0;
   bool found = false;
-  for (Slot s : net.live_slots_of(owner)) {
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+    const Slot s = slot_of(owner, i);
+    if (!net.alive(s)) continue;
     for (int k = 0; k < kEdgeKinds; ++k) {
       for (Slot t : net.edges(s, static_cast<EdgeKind>(k))) {
         if (!is_real_slot(t) || owner_of(t) == owner || !net.alive(t)) continue;
@@ -100,14 +138,17 @@ int Rules::compute_m(const Network& net, std::uint32_t owner) {
 void Rules::rule1_virtual_nodes(RuleCtx& ctx) {
   Network& net = ctx.net;
   const int m = compute_m(net, ctx.owner);
-  // create-virtualnodes(u): u_i for all i <= m.
+  // create-virtualnodes(u): u_i for all i <= m. rl/rr are deliberately NOT
+  // touched here: a dead slot's published rl/rr are already kInvalidSlot
+  // (rule-1 deletion publishes the default at commit and normalize() clears
+  // dead slots), and rule 3 guards on OTHER peers concurrently read these
+  // arrays -- the phase must not mutate previous-round published values or
+  // the sharded run loses bit-identity with the serial one.
   for (int i = 1; i <= m; ++i) {
     const Slot s = slot_of(ctx.owner, static_cast<std::uint32_t>(i));
     if (!net.alive(s)) {
       net.clear_edges(s);
       net.set_alive(s, true);
-      net.set_rl(s, kInvalidSlot);
-      net.set_rr(s, kInvalidSlot);
       ++ctx.activity.virtuals_created;
     }
   }
@@ -123,10 +164,12 @@ void Rules::rule1_virtual_nodes(RuleCtx& ctx) {
         net.add_edge(um, EdgeKind::kUnmarked, t);
     net.clear_edges(s);
     net.set_alive(s, false);
-    net.set_rl(s, kInvalidSlot);
-    net.set_rr(s, kInvalidSlot);
+    // rl/rr stay at their previous-round published values until commit (see
+    // the create loop above); the engine publishes kInvalidSlot for dead
+    // slots and normalize() covers the activation-fault path.
     ++ctx.activity.virtuals_deleted;
   }
+  ctx.max_index = static_cast<std::uint32_t>(m);
   refresh_siblings(ctx);
 }
 
@@ -246,14 +289,23 @@ void Rules::rule5_ring(RuleCtx& ctx) {
   // Knowledge for the creation rule: N(u) plus every held ring edge (the
   // stability argument of §3.1.6 needs the extremes to "already know" each
   // other; that knowledge is exactly the resting ring edge -- see DESIGN.md).
-  ctx.scratch.clear();
-  ctx.scratch.insert(ctx.scratch.end(), ctx.known.begin(), ctx.known.end());
-  for (Slot s : ctx.siblings) {
-    const auto& nr = net.edges(s, EdgeKind::kRing);
-    ctx.scratch.insert(ctx.scratch.end(), nr.begin(), nr.end());
-  }
-  sort_unique(net, ctx.scratch);
-  const std::vector<Slot> create_cand = ctx.scratch;
+  // Built lazily: only a peer with an extremal-looking sibling (no unmarked
+  // neighbor on one side) needs the sorted candidate set; in steady state
+  // that is the two global extremes, so everyone else skips the build.
+  std::vector<Slot>& create_cand = ctx.arena.cand;
+  bool cand_built = false;
+  auto build_create_cand = [&ctx, &net, &create_cand, &cand_built] {
+    if (cand_built) return;
+    cand_built = true;
+    ensure_known_fresh(ctx);
+    create_cand.clear();
+    create_cand.insert(create_cand.end(), ctx.known.begin(), ctx.known.end());
+    for (Slot s : ctx.siblings) {
+      const auto& nr = net.edges(s, EdgeKind::kRing);
+      create_cand.insert(create_cand.end(), nr.begin(), nr.end());
+    }
+    sort_unique(net, create_cand);
+  };
 
   for (Slot ui : ctx.siblings) {
     const Key ui_key = net.order_key(ui);
@@ -262,37 +314,43 @@ void Rules::rule5_ring(RuleCtx& ctx) {
         !nu.empty() && net.order_key(nu.front()) < ui_key;
     const bool has_right =
         !nu.empty() && net.order_key(nu.back()) > ui_key;
+    if (has_left && has_right) continue;
     // create-ring-edge-left(ui): ui believes it is the global minimum, so
     // the largest known node gets a ring edge pointing at ui.
-    if (!has_left && !create_cand.empty()) {
-      const Slot v = create_cand.back();
-      if (v != ui) {
-        ctx.ops.push_back({v, EdgeKind::kRing, ui});
-        ++ctx.activity.ring_creates;
+    if (!has_left) {
+      build_create_cand();
+      if (!create_cand.empty()) {
+        const Slot v = create_cand.back();
+        if (v != ui) {
+          ctx.ops.push_back({v, EdgeKind::kRing, ui});
+          ++ctx.activity.ring_creates;
+        }
       }
     }
     // create-ring-edge-right(ui): ui believes it is the global maximum.
-    if (!has_right && !create_cand.empty()) {
-      const Slot v = create_cand.front();
-      if (v != ui) {
-        ctx.ops.push_back({v, EdgeKind::kRing, ui});
-        ++ctx.activity.ring_creates;
+    if (!has_right) {
+      build_create_cand();
+      if (!create_cand.empty()) {
+        const Slot v = create_cand.front();
+        if (v != ui) {
+          ctx.ops.push_back({v, EdgeKind::kRing, ui});
+          ++ctx.activity.ring_creates;
+        }
       }
     }
   }
 
-  // forward-ring-edges: per held edge (ui -> w).
+  // forward-ring-edges: per held edge (ui -> w). Peers holding no ring edge
+  // (all but the extremes in steady state) skip the candidate build.
   for (Slot ui : ctx.siblings) {
+    std::vector<Slot>& held = ctx.arena.held;
+    held = net.edges(ui, EdgeKind::kRing);
+    if (held.empty()) continue;
+    ensure_known_fresh(ctx);
     const Key ui_key = net.order_key(ui);
-    // Candidates x ∈ N(ui) ∪ Nr(ui).
-    ctx.scratch = ctx.known;
-    {
-      const auto& nr = net.edges(ui, EdgeKind::kRing);
-      ctx.scratch.insert(ctx.scratch.end(), nr.begin(), nr.end());
-      sort_unique(net, ctx.scratch);
-    }
-    const std::vector<Slot> fw_cand = ctx.scratch;
-    const std::vector<Slot> held = net.edges(ui, EdgeKind::kRing);
+    // Candidates x ∈ N(ui) ∪ Nr(ui); both sorted, so a linear merge.
+    std::vector<Slot>& fw_cand = ctx.arena.cand;
+    merge_sorted(net, fw_cand, ctx.known, held);
     for (Slot w : held) {
       const Key w_key = net.order_key(w);
       if (w == ui) {  // degenerate self edge from a garbage initial state
@@ -347,15 +405,18 @@ void Rules::rule6_connection(RuleCtx& ctx) {
 
   // forward-cedges.
   for (Slot ui : ctx.siblings) {
-    const std::vector<Slot> held = net.edges(ui, EdgeKind::kConnection);
+    std::vector<Slot>& held = ctx.arena.held;
+    held = net.edges(ui, EdgeKind::kConnection);
+    if (held.empty()) continue;
+    // Candidates Nu(ui) ∪ S(ui): neither changes while forwarding (only
+    // connection edges are removed and all emissions are delayed ops), so
+    // build the set once per ui -- a linear merge of two sorted inputs.
+    std::vector<Slot>& cand = ctx.arena.cand;
+    merge_sorted(net, cand, net.edges(ui, EdgeKind::kUnmarked), ctx.siblings);
     for (Slot v : held) {
       const Key v_key = net.order_key(v);
       // w = max{x ∈ Nu(ui) ∪ S(ui) : x < v}
-      ctx.scratch = net.edges(ui, EdgeKind::kUnmarked);
-      ctx.scratch.insert(ctx.scratch.end(), ctx.siblings.begin(),
-                         ctx.siblings.end());
-      sort_unique(net, ctx.scratch);
-      const Slot w = max_below(net, ctx.scratch, v_key);
+      const Slot w = max_below(net, cand, v_key);
       if (w == kInvalidSlot || w == ui) {
         // forward-cedges-2 (and our stuck-edge extension when no candidate
         // below v exists at all): resolve into the unmarked backward edge.
@@ -379,7 +440,7 @@ void Rules::run_all(RuleCtx& ctx) {
   refresh_known(ctx);
   rule3_real_neighbors(ctx);
   rule4_linearize(ctx);
-  refresh_known(ctx);  // rules 3/4 changed Nu sets
+  ctx.known_stale = true;  // rules 3/4 changed Nu sets; rule 5 re-reads lazily
   rule5_ring(ctx);
   rule6_connection(ctx);
 }

@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/network.hpp"
@@ -46,6 +47,19 @@ struct RuleActivity {
   [[nodiscard]] std::uint64_t total() const noexcept;
 };
 
+/// Reusable scratch buffers backing one RuleCtx. The engine keeps one arena
+/// per worker thread and reuses it across peers and rounds, so the sharded
+/// rule phase allocates nothing in steady state (capacity persists; clearing
+/// a vector keeps its storage).
+struct RuleArena {
+  std::vector<Slot> siblings;
+  std::vector<Slot> known;
+  std::vector<Slot> known_real;
+  std::vector<Slot> scratch;
+  std::vector<Slot> cand;  // rule 5/6 candidate sets
+  std::vector<Slot> held;  // rule 5/6 held-edge snapshots
+};
+
 /// Per-peer scratch state threaded through the rules of one round.
 struct RuleCtx {
   Network& net;
@@ -57,17 +71,65 @@ struct RuleCtx {
   std::array<Slot, kSlotsPerOwner> rl_cur{};
   std::array<Slot, kSlotsPerOwner> rr_cur{};
   RuleActivity activity;
+  /// Set when `known` is out of date w.r.t. the unmarked sets; rule 5
+  /// re-refreshes lazily (see ensure_known_fresh in rules.cpp).
+  bool known_stale = false;
+  /// Largest slot index that may be live after rule 1 (== the owner's m).
+  /// rl_cur/rr_cur above it stay kInvalidSlot, so the engine only copies
+  /// back indices [0, max_index]. Conservative default for isolated-rule
+  /// callers that never run rule 1.
+  std::uint32_t max_index = kSlotsPerOwner - 1;
+
+  /// Backing storage for the convenience constructor only; engine callers
+  /// pass a long-lived arena instead.
+  std::unique_ptr<RuleArena> owned_arena;
 
   // Scratch (refreshed by the helpers below; sorted by the network order).
-  std::vector<Slot> siblings;    // S(u): live slots of this owner
-  std::vector<Slot> known;       // N(u) = S(u) ∪ ⋃_j Nu(u_j)
-  std::vector<Slot> known_real;  // the real nodes in N(u)
-  std::vector<Slot> scratch;     // per-rule temporary
+  std::vector<Slot>& siblings;    // S(u): live slots of this owner
+  std::vector<Slot>& known;       // N(u) = S(u) ∪ ⋃_j Nu(u_j)
+  std::vector<Slot>& known_real;  // the real nodes in N(u)
+  std::vector<Slot>& scratch;     // per-rule temporary
+  RuleArena& arena;
 
+  RuleCtx(Network& n, std::uint32_t o, std::vector<DelayedOp>& out,
+          RuleArena& a)
+      : net(n),
+        owner(o),
+        ops(out),
+        owned_arena(nullptr),
+        siblings(a.siblings),
+        known(a.known),
+        known_real(a.known_real),
+        scratch(a.scratch),
+        arena(a) {
+    init();
+  }
+
+  /// Convenience for tests and one-off callers: owns a private arena.
   RuleCtx(Network& n, std::uint32_t o, std::vector<DelayedOp>& out)
-      : net(n), owner(o), ops(out) {
+      : net(n),
+        owner(o),
+        ops(out),
+        owned_arena(std::make_unique<RuleArena>()),
+        siblings(owned_arena->siblings),
+        known(owned_arena->known),
+        known_real(owned_arena->known_real),
+        scratch(owned_arena->scratch),
+        arena(*owned_arena) {
+    init();
+  }
+
+ private:
+  void init() {
     rl_cur.fill(kInvalidSlot);
     rr_cur.fill(kInvalidSlot);
+    known_stale = false;
+    siblings.clear();
+    known.clear();
+    known_real.clear();
+    scratch.clear();
+    arena.cand.clear();
+    arena.held.clear();
   }
 };
 

@@ -1,0 +1,157 @@
+// Change-tracking and fault-injection reproducibility: a fixed fault_seed
+// yields bit-identical runs (drop counters and metrics included), churn
+// followed by reset_change_tracking() never produces a spurious fixpoint,
+// and the batched bulk edge insertion matches per-edge insertion exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+Network fresh(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return gen::make_network(gen::Topology::kRandomConnected, n, rng);
+}
+
+void expect_same_metrics(const RoundMetrics& a, const RoundMetrics& b,
+                         int round) {
+  ASSERT_EQ(a.round, b.round) << "round " << round;
+  ASSERT_EQ(a.real_nodes, b.real_nodes) << "round " << round;
+  ASSERT_EQ(a.virtual_nodes, b.virtual_nodes) << "round " << round;
+  ASSERT_EQ(a.unmarked_edges, b.unmarked_edges) << "round " << round;
+  ASSERT_EQ(a.ring_edges, b.ring_edges) << "round " << round;
+  ASSERT_EQ(a.connection_edges, b.connection_edges) << "round " << round;
+  ASSERT_EQ(a.changed, b.changed) << "round " << round;
+}
+
+TEST(FaultRepro, FixedSeedReproducesDropsAndMetrics) {
+  const EngineOptions opt{.threads = 1,
+                          .sleep_probability = 0.3,
+                          .message_loss = 0.2,
+                          .fault_seed = 0xFEEDF00DULL};
+  Engine a(fresh(18, 61), opt);
+  Engine b(fresh(18, 61), opt);
+  for (int r = 0; r < 40; ++r) {
+    const auto ma = a.step();
+    const auto mb = b.step();
+    expect_same_metrics(ma, mb, r);
+    ASSERT_EQ(a.messages_dropped(), b.messages_dropped()) << "round " << r;
+    ASSERT_EQ(a.network().state_fingerprint(), b.network().state_fingerprint())
+        << "round " << r;
+  }
+  EXPECT_GT(a.messages_dropped(), 0U);
+}
+
+TEST(FaultRepro, SerialAndThreadedAgreeUnderFaults) {
+  // The fault schedule keys on (seed, round, owner/op-index), none of which
+  // depend on the sharding, so faulty runs are thread-count invariant too.
+  const EngineOptions serial_opt{.threads = 1,
+                                 .sleep_probability = 0.25,
+                                 .message_loss = 0.1,
+                                 .fault_seed = 42};
+  EngineOptions threaded_opt = serial_opt;
+  threaded_opt.threads = 8;
+  Engine a(fresh(80, 62), serial_opt);
+  Engine b(fresh(80, 62), threaded_opt);
+  for (int r = 0; r < 30; ++r) {
+    a.step();
+    b.step();
+    ASSERT_EQ(a.messages_dropped(), b.messages_dropped()) << "round " << r;
+    ASSERT_EQ(a.network().state_fingerprint(), b.network().state_fingerprint())
+        << "round " << r;
+  }
+}
+
+TEST(Tracking, ResetAfterChurnPreventsSpuriousFixpoint) {
+  Engine engine(fresh(14, 63), {});
+  const auto spec0 = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec0, {}).stabilized);
+
+  // Crash a peer and join a new one out-of-band; the engine must not report
+  // an unchanged round while the network repairs toward the new spec.
+  const auto owners = engine.network().live_owners();
+  crash(engine.network(), owners[owners.size() / 2]);
+  util::Rng rng(7);
+  join(engine.network(), rng.next(), engine.network().live_owners()[0]);
+  engine.reset_change_tracking();
+
+  const auto spec1 = StableSpec::compute(engine.network());
+  ASSERT_FALSE(spec1.exact_match(engine.network()));
+  const auto first = engine.step();
+  EXPECT_TRUE(first.changed) << "repair round reported as fixpoint";
+  const auto result = run_to_stable(engine, spec1, {});
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(Tracking, RepeatedChurnCyclesStayExact) {
+  Engine engine(fresh(12, 64), {});
+  util::Rng rng(17);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const auto owners = engine.network().live_owners();
+    if (cycle % 2 == 0) {
+      join(engine.network(), rng.next(),
+           owners[rng.below(owners.size())]);
+    } else {
+      leave_gracefully(engine.network(),
+                       owners[rng.below(owners.size())]);
+    }
+    engine.reset_change_tracking();
+    const auto spec = StableSpec::compute(engine.network());
+    const auto result = run_to_stable(engine, spec, {});
+    ASSERT_TRUE(result.stabilized) << "cycle " << cycle;
+    ASSERT_TRUE(result.spec_exact) << "cycle " << cycle;
+  }
+}
+
+TEST(Tracking, StrayEdgeAfterFixpointIsDetectedAndRepaired) {
+  Engine engine(fresh(10, 65), {});
+  const auto spec = StableSpec::compute(engine.network());
+  ASSERT_TRUE(run_to_stable(engine, spec, {}).stabilized);
+  const auto slots = engine.network().live_slots();
+  engine.network().add_edge(slots.front(), EdgeKind::kRing, slots.back());
+  engine.reset_change_tracking();
+  const auto mt = engine.step();
+  EXPECT_TRUE(mt.changed);  // the stray ring edge moves/resolves, not rests
+  const auto result = run_to_stable(engine, spec, {});
+  ASSERT_TRUE(result.stabilized);
+  EXPECT_TRUE(result.spec_exact);
+}
+
+TEST(BulkInsert, MatchesIndividualAddEdge) {
+  util::Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    Network a = fresh(8, 80 + static_cast<std::uint64_t>(trial));
+    Network b = a;
+    const auto slots = a.live_slots();
+    const Slot s = slots[rng.below(slots.size())];
+    const auto kind = static_cast<EdgeKind>(rng.below(kEdgeKinds));
+    // Random batch, possibly overlapping existing edges and including s.
+    std::vector<Slot> batch;
+    for (int i = 0; i < 6; ++i) batch.push_back(slots[rng.below(slots.size())]);
+    std::sort(batch.begin(), batch.end(), [&a](Slot x, Slot y) {
+      return a.order_key(x) < a.order_key(y);
+    });
+    batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+
+    std::size_t added_individually = 0;
+    for (Slot t : batch) added_individually += b.add_edge(s, kind, t);
+    const std::size_t added_bulk = a.add_edges_bulk(s, kind, batch);
+
+    EXPECT_EQ(added_bulk, added_individually) << "trial " << trial;
+    EXPECT_EQ(a.serialize_state(), b.serialize_state()) << "trial " << trial;
+    EXPECT_EQ(a.edge_count(kind), b.edge_count(kind)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rechord::core
