@@ -1,15 +1,22 @@
-// Steady-state round cost at scale: ns/round and peak edge-set bytes for the
-// incremental fixpoint detector vs. the flag-gated legacy path (full
-// serialize_state() per round), at n in {1k, 10k, 50k}. The workload is the
-// exact fixpoint state materialized from the StableSpec, so every measured
-// round is an unchanged round -- the case every long-running scaling/churn
-// scenario spends almost all of its time in.
+// Steady-state round cost at scale: ns/round for the active-set scheduler
+// vs. the flag-gated full scan vs. the legacy serialize-per-round path, at n
+// in {1k, 10k, 50k}. The workload is the exact fixpoint state materialized
+// from the StableSpec, so every measured round is an unchanged round -- the
+// case every long-running scaling/churn scenario spends almost all of its
+// time in. A second table measures the rounds right after crashing k peers
+// (k in {1, 10, 100}), where the scheduler's cost should track the
+// perturbation, not n.
 //
 //   ./bench_round_cost [--sizes 1000,10000,50000] [--rounds 30]
-//                      [--legacy-rounds N] [--threads T] [--seed S]
-//                      [--csv out.csv]
+//                      [--full-rounds N] [--legacy-rounds N] [--threads T]
+//                      [--seed S] [--csv out.csv] [--churn-sizes 10000]
+//                      [--churn-ks 1,10,100] [--churn-rounds 12]
+//                      [--assert-speedup X]   (exit 1 if active-set is not
+//                                              at least X times faster than
+//                                              the full scan at every size)
 
 #include "common.hpp"
+#include "core/churn.hpp"
 #include "core/engine.hpp"
 
 using namespace rechord;
@@ -20,27 +27,76 @@ struct Measurement {
   double ns_per_round = 0.0;
   std::size_t edge_bytes = 0;
   bool stayed_fixed = true;
+  double mean_active = 0.0;
+  double mean_replayed = 0.0;
 };
 
 Measurement run_rounds(core::Engine& engine, std::size_t rounds) {
-  // First step pays the one-time baseline build (or legacy snapshot);
-  // warm up outside the timed section.
+  // Warm up outside the timed section until the engine is in its steady
+  // regime: the baseline build, the all-live cache-recording round and (for
+  // the full-scan/legacy paths, which never go quiescent) a bounded number
+  // of plain rounds.
   Measurement m;
-  m.stayed_fixed &= !engine.step().changed;
+  for (int w = 0; w < 3; ++w) {
+    const auto mt = engine.step();
+    m.stayed_fixed &= !mt.changed;
+    if (mt.active_peers == 0) break;
+  }
   bench::WallTimer timer;
-  for (std::size_t r = 0; r < rounds; ++r)
-    m.stayed_fixed &= !engine.step().changed;
+  std::size_t active = 0, replayed = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto mt = engine.step();
+    m.stayed_fixed &= !mt.changed;
+    active += mt.active_peers;
+    replayed += mt.replayed_peers;
+  }
   m.ns_per_round = timer.elapsed_ns() / static_cast<double>(rounds);
+  m.mean_active = static_cast<double>(active) / static_cast<double>(rounds);
+  m.mean_replayed =
+      static_cast<double>(replayed) / static_cast<double>(rounds);
   m.edge_bytes = engine.network().edge_set_bytes();
   return m;
+}
+
+// Crashes k distinct random peers (no reset: the engine's out-of-band scan
+// picks the churn up), then measures the mean cost of the next `rounds`
+// recovery rounds.
+Measurement run_churn(core::Engine& engine, std::size_t k, std::size_t rounds,
+                      std::uint64_t seed) {
+  // Materialize baseline and caches at the fixpoint (see run_rounds).
+  for (int w = 0; w < 3 && engine.step().active_peers > 0; ++w) {
+  }
+  util::Rng rng(seed ^ 0xC4A5Dull);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto owners = engine.network().live_owners();
+    core::crash(engine.network(), owners[rng.below(owners.size())]);
+  }
+  Measurement m;
+  bench::WallTimer timer;
+  std::size_t active = 0, replayed = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const auto mt = engine.step();
+    active += mt.active_peers;
+    replayed += mt.replayed_peers;
+  }
+  m.ns_per_round = timer.elapsed_ns() / static_cast<double>(rounds);
+  m.mean_active = static_cast<double>(active) / static_cast<double>(rounds);
+  m.mean_replayed =
+      static_cast<double>(replayed) / static_cast<double>(rounds);
+  return m;
+}
+
+std::string fmt(double v, std::size_t digits = 5) {
+  return std::to_string(v).substr(0, digits);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
-  bench::banner("round_cost: steady-state ns/round, incremental vs legacy",
-                "hot-path overhaul (ISSUE 1); enables the paper-scale runs");
+  bench::banner(
+      "round_cost: steady-state ns/round, active-set vs full scan vs legacy",
+      "quiescence-driven scheduler (ISSUE 2) on top of ISSUE 1's overhaul");
 
   std::vector<std::size_t> sizes;
   for (auto v : cli.get_int_list("sizes", {1000, 10000, 50000}))
@@ -49,17 +105,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --sizes needs at least one positive size\n");
     return 2;
   }
-  const auto rounds =
-      static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("rounds", 30)));
+  const auto rounds = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("rounds", 30)));
+  const auto full_rounds = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("full-rounds", 10)));
   const auto legacy_rounds = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, cli.get_int("legacy-rounds", 10)));
-  const auto threads = static_cast<unsigned>(
-      std::max<std::int64_t>(1, cli.get_int("threads", 1)));
+      std::max<std::int64_t>(1, cli.get_int("legacy-rounds", 5)));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double assert_speedup = cli.get_double("assert-speedup", 0.0);
+  const core::EngineOptions base_opt = core::engine_options_from_cli(cli);
 
-  util::Table table({"n", "live nodes", "edges", "incr ns/round",
-                     "legacy ns/round", "speedup", "edge-set MiB"});
+  util::Table table({"n", "live nodes", "edges", "active ns/round",
+                     "full ns/round", "legacy ns/round", "act/full",
+                     "act/legacy", "edge-set MiB"});
   std::vector<std::vector<double>> csv_rows;
+  bool assert_ok = true;
   for (std::size_t n : sizes) {
     core::Network net = bench::stable_network(n, seed);
     const auto nodes = net.live_slot_count();
@@ -67,34 +127,85 @@ int main(int argc, char** argv) {
                        net.edge_count(core::EdgeKind::kRing) +
                        net.edge_count(core::EdgeKind::kConnection);
 
-    core::Engine incr(net, {.threads = threads});
-    const Measurement mi = run_rounds(incr, rounds);
+    core::Engine active(net, base_opt);
+    const Measurement ma = run_rounds(active, rounds);
 
-    core::Engine legacy(std::move(net),
-                        {.threads = threads, .legacy_fixpoint = true});
+    core::EngineOptions full_opt = base_opt;
+    full_opt.full_scan = true;
+    core::Engine full(net, full_opt);
+    const Measurement mf = run_rounds(full, full_rounds);
+
+    core::EngineOptions legacy_opt = base_opt;
+    legacy_opt.legacy_fixpoint = true;
+    core::Engine legacy(std::move(net), legacy_opt);
     const Measurement ml = run_rounds(legacy, legacy_rounds);
 
-    if (!mi.stayed_fixed || !ml.stayed_fixed)
+    if (!ma.stayed_fixed || !mf.stayed_fixed || !ml.stayed_fixed)
       std::printf("WARNING: n=%zu did not stay at the fixpoint\n", n);
 
-    const double speedup = ml.ns_per_round / mi.ns_per_round;
-    const double mib =
-        static_cast<double>(mi.edge_bytes) / (1024.0 * 1024.0);
-    table.add_row({std::to_string(n), std::to_string(nodes),
-                   std::to_string(edges),
-                   std::to_string(static_cast<std::int64_t>(mi.ns_per_round)),
-                   std::to_string(static_cast<std::int64_t>(ml.ns_per_round)),
-                   std::to_string(speedup).substr(0, 5),
-                   std::to_string(mib).substr(0, 6)});
+    const double su_full = mf.ns_per_round / ma.ns_per_round;
+    const double su_legacy = ml.ns_per_round / ma.ns_per_round;
+    if (assert_speedup > 0.0 && su_full < assert_speedup) assert_ok = false;
+    const double mib = static_cast<double>(ma.edge_bytes) / (1024.0 * 1024.0);
+    table.add_row(
+        {std::to_string(n), std::to_string(nodes), std::to_string(edges),
+         std::to_string(static_cast<std::int64_t>(ma.ns_per_round)),
+         std::to_string(static_cast<std::int64_t>(mf.ns_per_round)),
+         std::to_string(static_cast<std::int64_t>(ml.ns_per_round)),
+         fmt(su_full), fmt(su_legacy), fmt(mib, 6)});
     csv_rows.push_back({static_cast<double>(n), static_cast<double>(nodes),
-                        static_cast<double>(edges), mi.ns_per_round,
-                        ml.ns_per_round, speedup,
-                        static_cast<double>(mi.edge_bytes)});
+                        static_cast<double>(edges), ma.ns_per_round,
+                        mf.ns_per_round, ml.ns_per_round, su_full, su_legacy,
+                        static_cast<double>(ma.edge_bytes)});
   }
   table.print(std::cout);
   bench::emit_csv(cli.get("csv", ""),
-                  {"n", "live_nodes", "edges", "incr_ns_per_round",
-                   "legacy_ns_per_round", "speedup", "edge_set_bytes"},
+                  {"n", "live_nodes", "edges", "active_ns_per_round",
+                   "full_ns_per_round", "legacy_ns_per_round",
+                   "speedup_vs_full", "speedup_vs_legacy", "edge_set_bytes"},
                   csv_rows);
+
+  // -- recovery cost after crashing k peers ---------------------------------
+  std::vector<std::size_t> churn_sizes;
+  for (auto v : cli.get_int_list("churn-sizes", {10000}))
+    if (v > 0) churn_sizes.push_back(static_cast<std::size_t>(v));
+  std::vector<std::size_t> ks;
+  for (auto v : cli.get_int_list("churn-ks", {1, 10, 100}))
+    if (v > 0) ks.push_back(static_cast<std::size_t>(v));
+  const auto churn_rounds = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cli.get_int("churn-rounds", 12)));
+  if (!churn_sizes.empty() && !ks.empty()) {
+    std::printf("\nrecovery rounds after crashing k peers (mean over %zu "
+                "rounds, no reset):\n",
+                churn_rounds);
+    util::Table churn_table({"n", "k", "active ns/round", "full ns/round",
+                             "speedup", "mean woken peers", "mean replayed"});
+    for (std::size_t n : churn_sizes) {
+      for (std::size_t k : ks) {
+        if (k >= n) continue;
+        core::Network net = bench::stable_network(n, seed);
+        core::Engine active(net, base_opt);
+        const Measurement ma = run_churn(active, k, churn_rounds, seed);
+        core::EngineOptions full_opt = base_opt;
+        full_opt.full_scan = true;
+        core::Engine full(std::move(net), full_opt);
+        const Measurement mf = run_churn(full, k, churn_rounds, seed);
+        churn_table.add_row(
+            {std::to_string(n), std::to_string(k),
+             std::to_string(static_cast<std::int64_t>(ma.ns_per_round)),
+             std::to_string(static_cast<std::int64_t>(mf.ns_per_round)),
+             fmt(mf.ns_per_round / ma.ns_per_round),
+             std::to_string(static_cast<std::int64_t>(ma.mean_active)),
+             std::to_string(static_cast<std::int64_t>(ma.mean_replayed))});
+      }
+    }
+    churn_table.print(std::cout);
+  }
+
+  if (assert_speedup > 0.0) {
+    std::printf("\nassert-speedup %.2f: %s\n", assert_speedup,
+                assert_ok ? "ok" : "FAILED");
+    if (!assert_ok) return 1;
+  }
   return 0;
 }

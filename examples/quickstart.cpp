@@ -3,6 +3,7 @@
 // result (topology counts, stability, and the Chord-subgraph property).
 //
 //   ./quickstart [--n 24] [--seed 7] [--topology line|star|random|...]
+//                [--threads T] [--full-scan]
 
 #include <cstdio>
 
@@ -26,7 +27,7 @@ int main(int argc, char** argv) {
 
   util::Rng rng(seed);
   core::Network net = gen::make_network(topo, n, rng);
-  core::Engine engine(std::move(net), {});
+  core::Engine engine(std::move(net), core::engine_options_from_cli(cli));
   const core::StableSpec spec = core::StableSpec::compute(engine.network());
 
   core::RunOptions opt;
@@ -34,18 +35,25 @@ int main(int argc, char** argv) {
   opt.track_series = true;
   const core::RunResult result = core::run_to_stable(engine, spec, opt);
 
-  std::printf("\n%-6s %10s %10s %8s %8s %8s %8s\n", "round", "virt", "unmarked",
-              "ring", "conn", "normal", "total");
+  std::printf("\n%-6s %10s %10s %8s %8s %8s %8s %7s %7s %7s\n", "round",
+              "virt", "unmarked", "ring", "conn", "normal", "total", "live",
+              "replay", "skip");
   for (const auto& mt : result.series) {
     if (mt.round % 5 == 0 || !mt.changed) {
-      std::printf("%-6llu %10zu %10zu %8zu %8zu %8zu %8zu\n",
+      std::printf("%-6llu %10zu %10zu %8zu %8zu %8zu %8zu %7zu %7zu %7zu\n",
                   static_cast<unsigned long long>(mt.round), mt.virtual_nodes,
                   mt.unmarked_edges, mt.ring_edges, mt.connection_edges,
-                  mt.normal_edges(), mt.total_edges());
+                  mt.normal_edges(), mt.total_edges(), mt.active_peers,
+                  mt.replayed_peers, mt.skipped_peers);
     }
   }
 
   std::printf("\nstabilized          : %s\n", result.stabilized ? "yes" : "NO");
+  std::printf("peer-rounds         : %llu live, %llu replayed, %llu skipped "
+              "(active-set scheduler)\n",
+              static_cast<unsigned long long>(result.live_peer_rounds),
+              static_cast<unsigned long long>(result.replayed_peer_rounds),
+              static_cast<unsigned long long>(result.skipped_peer_rounds));
   std::printf("rounds to stable    : %llu\n",
               static_cast<unsigned long long>(result.rounds_to_stable));
   std::printf("rounds to almost    : %llu%s\n",

@@ -35,6 +35,13 @@ struct RunResult {
   /// when stabilized).
   bool spec_exact = false;
   RoundMetrics final_metrics;
+  /// Scheduler work summed over all executed rounds: peers whose rules ran
+  /// live, peers replayed from cache, and peers skipped as resting
+  /// (DESIGN.md §6). Under EngineOptions::full_scan every peer counts as
+  /// live.
+  std::uint64_t live_peer_rounds = 0;
+  std::uint64_t replayed_peer_rounds = 0;
+  std::uint64_t skipped_peer_rounds = 0;
   std::vector<RoundMetrics> series;  // when track_series
 };
 

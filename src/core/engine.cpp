@@ -1,9 +1,10 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <thread>
 
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/sorted_vec.hpp"
 
 namespace rechord::core {
 
@@ -19,15 +20,332 @@ bool fault_coin(std::uint64_t seed, std::uint64_t round, std::uint64_t index,
 }
 }  // namespace
 
+EngineOptions engine_options_from_cli(const util::Cli& cli,
+                                      EngineOptions base) {
+  base.threads = static_cast<unsigned>(std::max<std::int64_t>(
+      1, cli.get_int("threads", static_cast<std::int64_t>(base.threads))));
+  if (cli.get_flag("full-scan")) base.full_scan = true;
+  if (cli.get_flag("legacy-fixpoint")) base.legacy_fixpoint = true;
+  return base;
+}
+
 Engine::Engine(Network net, EngineOptions opt)
     : net_(std::move(net)), opt_(opt) {
   if (opt_.threads == 0) opt_.threads = 1;
+  // The legacy serialize-per-round detector predates the per-slot change
+  // tracking the scheduler's wake mechanism is built on.
+  if (opt_.legacy_fixpoint) opt_.full_scan = true;
+}
+
+void Engine::ensure_scheduler_arrays() {
+  const std::uint32_t n = net_.owner_count();
+  if (cache_.size() < n) cache_.resize(n);
+  if (wake_.size() < n) wake_.resize(n, 1);  // new owners run live
+  if (skip_.size() < n) skip_.resize(n, 0);
+  if (op_senders_.size() < n) op_senders_.resize(n);
+}
+
+void Engine::note_op_sender(std::uint32_t referenced, std::uint32_t sender) {
+  if (referenced == sender) return;  // a peer trivially rests with itself
+  util::insert_sorted_unique(op_senders_[referenced], sender);
+}
+
+void Engine::rebuild_flow_indices() {
+  // Exact reader index from the current edge sets, extended by the
+  // op-derived entries of every surviving cache: an in-flight cached op is
+  // both a future read of its target's and payload's aliveness (commit-time
+  // ghost re-homing) and a skip dependency. Called at an epoch reset and at
+  // a storm -> calm transition -- bulk rounds run bare, so edges they
+  // created or delivered carry no incremental registrations; before any
+  // peer can go quiescent again the index must be rebuilt from ground
+  // truth. O(edges + cached ops).
+  net_.rebuild_reader_index();
+  for (auto& v : op_senders_) v.clear();
+  for (std::uint32_t o = 0; o < net_.owner_count(); ++o) {
+    const PeerCache& pcc = cache_[o];
+    if (!pcc.valid || !net_.owner_alive(o)) continue;
+    for (const DelayedOp& op : pcc.ops)
+      net_.note_reader(owner_of(op.payload), owner_of(op.target));
+    for (std::uint32_t d : pcc.op_owners) note_op_sender(d, o);
+  }
+}
+
+void Engine::compute_skip_set() {
+  // Resting-chain recognition (DESIGN.md §6). A candidate is a quiescent
+  // peer (valid cache, not woken): since its last executed round moved no
+  // digest of its slots, that round's own recorded edits plus the delayed
+  // ops addressed to it cancelled exactly -- the peer is resting, its whole
+  // round contribution is the identity. Skipping it (no replay, no ops, no
+  // publish) stays bit-identical to the full scan as long as the
+  // cancellation partners keep up their side, which two closure rules
+  // guarantee:
+  //   (1) downstream: every owner referenced by a skipped peer's cached ops
+  //       (targets AND payloads) is skipped too. A referenced owner that
+  //       replays applies its recorded removals and needs the skipped
+  //       peer's re-adds; a referenced owner whose aliveness pattern moved
+  //       would resolve the op differently at commit. Either way the peer
+  //       must emit, i.e. replay.
+  //   (2) upstream: no peer running live this round has cached ops into a
+  //       skipped peer. A live run may stop re-sending the op that cancels
+  //       the skipped peer's recorded removal, so the skipped peer must
+  //       apply that removal itself, i.e. replay. (A *replaying* upstream
+  //       re-sends its cached ops verbatim; against an un-replayed resting
+  //       peer those arrive as duplicate insertions and change nothing.)
+  // Owners that left the system stopped emitting in both modes; their
+  // cached references were evicted once via rule (2) in the round their
+  // death was observed (oob scan), after which ordinary digest wakes take
+  // over. Ops referencing a dead owner resolve to dropped in both modes,
+  // so dead owners are not eviction seeds.
+  const std::uint32_t n = net_.owner_count();
+  std::fill(skip_.begin(), skip_.end(), 0);
+  std::uint32_t live = 0, woken = 0;
+  for (std::uint32_t o = 0; o < n; ++o) {
+    if (!net_.owner_alive(o)) continue;
+    ++live;
+    if (wake_[o]) ++woken;
+  }
+  // Hysteresis: entering storm mode takes a woken majority, leaving it
+  // takes the storm dying down to a quarter -- otherwise a long recovery
+  // oscillates between bare rounds and mass re-recording rounds that the
+  // next storm round immediately invalidates again.
+  const bool was_bulk = bulk_round_;
+  bulk_round_ = !opt_.paranoid_replay &&
+                (2 * woken > live || (bulk_round_ && 4 * woken > live));
+  // Leaving a storm: the bare rounds created and delivered edges with no
+  // incremental index registrations, so rebuild before this round's
+  // replays/skips (and their future wakes) depend on the index again.
+  if (was_bulk && !bulk_round_) rebuild_flow_indices();
+  if (!skip_possible()) return;
+  for (std::uint32_t o = 0; o < n; ++o)
+    skip_[o] = net_.owner_alive(o) && cache_[o].valid && !wake_[o] ? 1 : 0;
+  evict_stack_.clear();
+  const auto evict = [this](std::uint32_t d) {
+    if (skip_[d]) {
+      skip_[d] = 0;
+      evict_stack_.push_back(d);
+    }
+  };
+  for (std::uint32_t o = 0; o < n; ++o) {
+    if (!net_.owner_alive(o)) continue;
+    if (wake_[o] || !cache_[o].valid) {
+      // Rule (2): `o` runs live this round. (An owner merely *evicted* from
+      // the skip set replays its cached ops verbatim and triggers nothing.)
+      for (std::uint32_t d : cache_[o].op_owners) evict(d);
+    }
+    // Closure seed for rule (1): senders into a non-skipped owner.
+    if (!skip_[o] && !op_senders_[o].empty()) evict_stack_.push_back(o);
+  }
+  for (std::uint32_t o : oob_owners_)
+    if (!net_.owner_alive(o))  // departed peers: one-time rule (2) eviction
+      for (std::uint32_t d : cache_[o].op_owners) evict(d);
+  while (!evict_stack_.empty()) {
+    const std::uint32_t d = evict_stack_.back();
+    evict_stack_.pop_back();
+    for (std::uint32_t u : op_senders_[d]) evict(u);
+  }
+}
+
+void Engine::wake_out_of_band() {
+  // Out-of-band mutations (churn applied without reset_change_tracking)
+  // leave dirty marks between consume() and this round. The affected owners
+  // and their current readers must run live *now* -- and, because this round
+  // may revert the change before the digests are compared at consume(),
+  // again next round: apply_wakes() re-wakes oob_owners_ after consume.
+  for (std::uint32_t o = 0; o < net_.owner_count(); ++o) {
+    if (!net_.owner_dirty(o)) continue;
+    oob_owners_.push_back(o);
+    wake_[o] = 1;
+    for (std::uint32_t r : net_.readers(o)) wake_[r] = 1;
+    for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+      const Slot s = slot_of(o, i);
+      if (!net_.slot_dirty(s)) continue;
+      // Register reader entries for edges added out-of-band (join bootstrap,
+      // graceful-leave informs): the dirty slot's owner reads its targets.
+      for (int k = 0; k < kEdgeKinds; ++k)
+        for (Slot t : net_.edges(s, static_cast<EdgeKind>(k)))
+          net_.note_reader(owner_of(t), o);
+    }
+  }
+}
+
+void Engine::apply_wakes() {
+  // Wake invariant (DESIGN.md §6): before round t+1 starts, every peer whose
+  // read set differs from the state its cache was recorded against has
+  // wake_ == 1. Private (edge-set) changes wake only the owner; published
+  // (aliveness / rl / rr) changes additionally wake the registered readers.
+  for (std::uint32_t o : changed_owners_) wake_[o] = 1;
+  for (std::uint32_t o : published_owners_)
+    for (std::uint32_t r : net_.readers(o)) wake_[r] = 1;
+  for (std::uint32_t o : oob_owners_) {
+    wake_[o] = 1;
+    for (std::uint32_t r : net_.readers(o)) wake_[r] = 1;
+  }
+  oob_owners_.clear();
+}
+
+void Engine::replay_peer(std::uint32_t owner, const PeerCache& pc,
+                         std::vector<DelayedOp>& out, RuleActivity& act) {
+  // The peer's inputs are unchanged since its last live run, so the phase --
+  // a pure function of those inputs -- would reproduce exactly the recorded
+  // output. Apply it without entering the rules. This is also what rotates a
+  // resting connection-edge chain in place: the recorded delta removes each
+  // chain edge and re-creates the head, the recorded ops re-deliver the
+  // forwarded hops.
+  for (const LocalEdit& e : pc.delta) {
+    switch (e.op) {
+      case LocalEdit::Op::kAddEdge:
+        net_.add_edge(e.slot, e.kind, e.target);
+        break;
+      case LocalEdit::Op::kRemoveEdge:
+        net_.remove_edge(e.slot, e.kind, e.target);
+        break;
+      case LocalEdit::Op::kClearEdges:
+        net_.clear_edges(e.slot);
+        break;
+      case LocalEdit::Op::kSetAlive:
+        net_.set_alive(e.slot, true);
+        break;
+      case LocalEdit::Op::kSetDead:
+        net_.set_alive(e.slot, false);
+        break;
+    }
+  }
+  out.insert(out.end(), pc.ops.begin(), pc.ops.end());
+  act += pc.activity;
+  for (std::uint32_t idx = 0; idx <= pc.max_index; ++idx) {
+    const Slot s = slot_of(owner, idx);
+    rl_next_[s] = pc.rl[idx];
+    rr_next_[s] = pc.rr[idx];
+  }
+  for (std::uint32_t idx = pc.max_index + 1; idx < kSlotsPerOwner; ++idx) {
+    const Slot s = slot_of(owner, idx);
+    rl_next_[s] = kInvalidSlot;
+    rr_next_[s] = kInvalidSlot;
+  }
+}
+
+void Engine::run_range(std::size_t begin, std::size_t end,
+                       std::vector<DelayedOp>& out, unsigned shard) {
+  RuleActivity& act = shard_activity_[shard];
+  RuleArena& arena = arenas_[shard];
+  const bool active = active_mode();
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t owner = owners_[i];
+    bool check = false;
+    PeerCache* pc = nullptr;
+    if (active) {
+      pc = &cache_[owner];
+      if (skip_[owner]) {
+        // Resting: the peer's recorded edits and the ops addressed to it
+        // cancel, and compute_skip_set() proved the whole flow rests with
+        // it. Touch nothing; count the cached activity so the rule-activity
+        // metrics stay mode-independent.
+        ++shard_skipped_[shard];
+        act += pc->activity;
+        continue;
+      }
+      if (pc->valid && !wake_[owner]) {
+        ++shard_replayed_[shard];
+        if (!opt_.paranoid_replay) {
+          replay_peer(owner, *pc, out, act);
+          shard_ran_[shard].push_back(owner);
+          continue;
+        }
+        // Paranoid: run live anyway and diff against the cache below.
+        check = true;
+        PeerCache& prev = paranoid_prev_[shard];
+        prev.delta.swap(pc->delta);
+        prev.ops.swap(pc->ops);
+        prev.rl.swap(pc->rl);
+        prev.rr.swap(pc->rr);
+        prev.max_index = pc->max_index;
+        prev.activity = pc->activity;
+      } else {
+        // Keep the previous recording for the notes_fresh comparison (the
+        // paranoid branch above already swapped it into the same scratch).
+        paranoid_prev_[shard].delta.swap(pc->delta);
+      }
+      pc->delta.clear();
+    }
+    // Every peer that reaches the live rule execution counts as active --
+    // under full_scan that is every participating peer -- except paranoid
+    // cross-check runs, which were already counted as replays.
+    if (!check) ++shard_active_[shard];
+    const std::size_t op_base = out.size();
+    RuleCtx ctx(net_, owner, out, arena);
+    if (active && !bulk_round_) ctx.record = &pc->delta;
+    Rules::run_all(ctx);
+    act += ctx.activity;
+    // Indices above ctx.max_index are dead after rule 1; publish clears
+    // their rl/rr (dead slots are invisible to digests either way).
+    for (std::uint32_t idx = 0; idx <= ctx.max_index; ++idx) {
+      const Slot s = slot_of(owner, idx);
+      rl_next_[s] = ctx.rl_cur[idx];
+      rr_next_[s] = ctx.rr_cur[idx];
+    }
+    for (std::uint32_t idx = ctx.max_index + 1; idx < kSlotsPerOwner; ++idx) {
+      const Slot s = slot_of(owner, idx);
+      rl_next_[s] = kInvalidSlot;
+      rr_next_[s] = kInvalidSlot;
+    }
+    shard_ran_[shard].push_back(owner);
+    if (active && bulk_round_) {
+      // Storm round: ran bare, nothing recorded. The stale cache must not
+      // be replayed (its op_owners stay behind for the skip closure's
+      // rule-(2) evictions until a calm round re-records).
+      pc->valid = false;
+      wake_[owner] = 0;  // re-woken by consume() iff the digests moved
+      continue;
+    }
+    if (active) {
+      const auto fresh_begin =
+          out.begin() + static_cast<std::ptrdiff_t>(op_base);
+      const bool output_same =
+          pc->valid && !check &&
+          static_cast<std::size_t>(out.end() - fresh_begin) ==
+              pc->ops.size() &&
+          std::equal(fresh_begin, out.end(), pc->ops.begin()) &&
+          pc->delta == paranoid_prev_[shard].delta;
+      pc->notes_fresh = !output_same;
+      if (!output_same) {
+        pc->ops.assign(fresh_begin, out.end());
+        pc->op_owners.clear();
+        for (auto it = pc->ops.begin(); it != pc->ops.end(); ++it) {
+          pc->op_owners.push_back(owner_of(it->target));
+          pc->op_owners.push_back(owner_of(it->payload));
+        }
+        std::sort(pc->op_owners.begin(), pc->op_owners.end());
+        pc->op_owners.erase(
+            std::unique(pc->op_owners.begin(), pc->op_owners.end()),
+            pc->op_owners.end());
+      }
+      pc->rl.assign(ctx.rl_cur.begin(),
+                    ctx.rl_cur.begin() + ctx.max_index + 1);
+      pc->rr.assign(ctx.rr_cur.begin(),
+                    ctx.rr_cur.begin() + ctx.max_index + 1);
+      pc->max_index = ctx.max_index;
+      pc->activity = ctx.activity;
+      pc->valid = true;
+      wake_[owner] = 0;
+      shard_live_[shard].push_back(owner);
+      if (check) {
+        const PeerCache& prev = paranoid_prev_[shard];
+        if (prev.delta != pc->delta || prev.ops != pc->ops ||
+            prev.rl != pc->rl || prev.rr != pc->rr ||
+            prev.max_index != pc->max_index ||
+            !(prev.activity == pc->activity))
+          ++shard_mismatch_[shard];
+      }
+    }
+  }
 }
 
 void Engine::run_peers() {
   net_.live_owners_into(owners_);
   // Activation faults: a sleeping peer keeps its state and publishes last
   // round's rl/rr unchanged; messages addressed to it are still delivered.
+  // A sleeping peer is neither run nor replayed, and its wake flag (if any)
+  // persists until it actually runs live.
   if (opt_.sleep_probability > 0.0) {
     std::size_t w = 0;
     for (std::uint32_t o : owners_)
@@ -35,80 +353,109 @@ void Engine::run_peers() {
         owners_[w++] = o;
     owners_.resize(w);
   }
-  auto run_range = [&](std::size_t begin, std::size_t end,
-                       std::vector<DelayedOp>& out, RuleActivity& act,
-                       RuleArena& arena) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t owner = owners_[i];
-      RuleCtx ctx(net_, owner, out, arena);
-      Rules::run_all(ctx);
-      act += ctx.activity;
-      // Indices above ctx.max_index are dead after rule 1 and their rl/rr
-      // stay at the rl_next_/rr_next_ defaults: kInvalidSlot in the
-      // synchronous model, and under activation faults the pre-round values,
-      // which normalize() clears for dead slots either way.
-      for (std::uint32_t idx = 0; idx <= ctx.max_index; ++idx) {
-        const Slot s = slot_of(owner, idx);
-        rl_next_[s] = ctx.rl_cur[idx];
-        rr_next_[s] = ctx.rr_cur[idx];
-      }
-    }
-  };
   const unsigned threads =
       std::min<unsigned>(opt_.threads, static_cast<unsigned>(owners_.size()));
-  if (threads <= 1 || owners_.size() < 64) {
-    if (arenas_.empty()) arenas_.resize(1);
-    shard_activity_.assign(1, RuleActivity{});
-    run_range(0, owners_.size(), ops_, shard_activity_[0], arenas_[0]);
+  const bool serial = threads <= 1 || owners_.size() < 64;
+  const unsigned shards = serial ? 1 : threads;
+  if (arenas_.size() < shards) arenas_.resize(shards);
+  if (paranoid_prev_.size() < shards) paranoid_prev_.resize(shards);
+  shard_activity_.assign(shards, RuleActivity{});
+  shard_active_.assign(shards, 0);
+  shard_replayed_.assign(shards, 0);
+  shard_skipped_.assign(shards, 0);
+  shard_mismatch_.assign(shards, 0);
+  for (auto& v : shard_live_) v.clear();
+  if (shard_live_.size() < shards) shard_live_.resize(shards);
+  for (auto& v : shard_ran_) v.clear();
+  if (shard_ran_.size() < shards) shard_ran_.resize(shards);
+  if (serial) {
+    run_range(0, owners_.size(), ops_, 0);
     return;
   }
-  // NOTE(parallel-safety): a peer mutates only its own slots' sets; all
-  // cross-peer effects go to the per-thread op queues, and the only foreign
-  // reads are static attributes and previous-round rl/rr. rl_next/rr_next
-  // writes are disjoint per peer, dirty marks are per-slot/per-owner, and
-  // the network's metric counters are relaxed atomics. Determinism: queues
-  // are concatenated in shard order and sorted at commit.
-  if (arenas_.size() < threads) arenas_.resize(threads);
-  if (shard_ops_.size() < threads) shard_ops_.resize(threads);
-  shard_activity_.assign(threads, RuleActivity{});
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (owners_.size() + threads - 1) / threads;
-  for (unsigned t = 0; t < threads; ++t) {
+  // NOTE(parallel-safety): a peer mutates only its own slots' sets (live or
+  // replayed); all cross-peer effects go to the per-shard op queues, and the
+  // only foreign reads are static attributes, real-slot aliveness (changes
+  // only out-of-band) and previous-round rl/rr. rl_next/rr_next writes are
+  // disjoint per peer, dirty marks are per-slot/per-owner, wake_/cache_
+  // accesses are per-owner, and the network's metric counters are relaxed
+  // atomics. Determinism: queues are concatenated in shard order, which
+  // equals the serial (ascending-owner) emission order.
+  if (shard_ops_.size() < shards) shard_ops_.resize(shards);
+  if (!pool_ || pool_->worker_count() + 1 < shards)
+    pool_ = std::make_unique<WorkerPool>(shards - 1);
+  const std::size_t chunk = (owners_.size() + shards - 1) / shards;
+  pool_->run(shards, [&](unsigned t) {
     const std::size_t begin = std::min<std::size_t>(t * chunk, owners_.size());
     const std::size_t end =
         std::min<std::size_t>(begin + chunk, owners_.size());
     shard_ops_[t].clear();
-    workers.emplace_back([&, begin, end, t] {
-      run_range(begin, end, shard_ops_[t], shard_activity_[t], arenas_[t]);
-    });
-  }
-  for (auto& w : workers) w.join();
-  for (unsigned t = 0; t < threads; ++t)
+    run_range(begin, end, shard_ops_[t], t);
+  });
+  for (unsigned t = 0; t < shards; ++t)
     ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
 }
 
 RoundMetrics Engine::step() {
+  const bool active = active_mode();
   if (opt_.legacy_fixpoint) {
     if (prev_state_.empty()) prev_state_ = net_.serialize_state();
   } else if (!baseline_ready_) {
     net_.rebuild_change_baseline();
     baseline_ready_ = true;
+    if (active) {
+      // Fresh scheduler epoch: everyone runs live against rebuilt indices
+      // (the all-live round that follows may reproduce its old output
+      // verbatim and skip re-registration, so the rebuild must already
+      // include the surviving caches' op entries).
+      ensure_scheduler_arrays();
+      rebuild_flow_indices();
+      std::fill(wake_.begin(), wake_.end(), 1);
+      oob_owners_.clear();
+    }
+  }
+  if (active) {
+    ensure_scheduler_arrays();
+    wake_out_of_band();
+    compute_skip_set();
   }
 
   ops_.clear();
-  rl_next_.assign(net_.slot_count(), kInvalidSlot);
-  rr_next_.assign(net_.slot_count(), kInvalidSlot);
-  // A sleeping peer's rl/rr must persist, so default them to current values.
-  if (opt_.sleep_probability > 0.0) {
-    for (Slot s = 0; s < net_.slot_count(); ++s) {
-      rl_next_[s] = net_.rl(s);
-      rr_next_[s] = net_.rr(s);
-    }
+  // rl_next_/rr_next_ carry values only for the slots of owners that ran
+  // this round (fully rewritten by run_range/replay_peer before publish
+  // reads them); everyone else's published rl/rr stays untouched.
+  if (rl_next_.size() < net_.slot_count()) {
+    rl_next_.resize(net_.slot_count(), kInvalidSlot);
+    rr_next_.resize(net_.slot_count(), kInvalidSlot);
   }
   run_peers();
   activity_ = RuleActivity{};
   for (const auto& act : shard_activity_) activity_ += act;
+  std::size_t active_peers = 0, replayed_peers = 0, skipped_peers = 0;
+  for (std::size_t v : shard_active_) active_peers += v;
+  for (std::size_t v : shard_replayed_) replayed_peers += v;
+  for (std::size_t v : shard_skipped_) skipped_peers += v;
+  for (std::uint64_t v : shard_mismatch_) replay_mismatches_ += v;
+  if (active) {
+    // Reader and op-sender entries for this round's live runs, derived
+    // single-threaded from the recorded deltas and cached ops. Ops are
+    // registered here, at cache time, rather than per delivery at commit:
+    // the owner pair of an op never changes afterwards (replay re-emits it
+    // verbatim, and commit-time ghost re-homing stays within the owner), so
+    // one registration covers every future delivery, and the reader index
+    // is an over-approximation, so registering an op that commit later
+    // drops is harmless. Replayed deltas re-create edges whose entries
+    // already exist.
+    for (const auto& live : shard_live_)
+      for (std::uint32_t o : live) {
+        if (!cache_[o].notes_fresh) continue;  // identical output: all known
+        for (const LocalEdit& e : cache_[o].delta)
+          if (e.op == LocalEdit::Op::kAddEdge && owner_of(e.target) != o)
+            net_.note_reader(owner_of(e.target), o);
+        for (const DelayedOp& op : cache_[o].ops)
+          net_.note_reader(owner_of(op.payload), owner_of(op.target));
+        for (std::uint32_t d : cache_[o].op_owners) note_op_sender(d, o);
+      }
+  }
 
   // Commit: deliver all delayed assignments simultaneously. A message to a
   // meanwhile-deleted virtual node is absorbed by the owning peer's u_m (see
@@ -180,21 +527,37 @@ RoundMetrics Engine::step() {
       net_.add_edges_bulk(target, kind, payload_buf_);
     }
   }
-  // Publish this round's rl/rr (rule 3 results reference real slots only;
-  // normalize() clears any that refer to dead slots).
-  for (Slot s = 0; s < net_.slot_count(); ++s) {
-    net_.set_rl(s, rl_next_[s]);
-    net_.set_rr(s, rr_next_[s]);
-  }
+  // Publish this round's rl/rr for the owners that ran, live slots and dead
+  // tails alike (rule 3 results reference real slots only; normalize()
+  // clears any that refer to dead slots). A peer that was skipped or slept
+  // keeps its published values -- for skipped peers that is exactly what a
+  // full scan would have republished.
+  for (const auto& ran : shard_ran_)
+    for (std::uint32_t o : ran) {
+      const Slot base = slot_of(o, 0);
+      for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+        net_.set_rl(base + i, rl_next_[base + i]);
+        net_.set_rr(base + i, rr_next_[base + i]);
+      }
+    }
   net_.normalize();
   ++round_;
 
   RoundMetrics mt = measure();
   mt.round = round_;
+  mt.active_peers = active_peers;
+  mt.replayed_peers = replayed_peers;
+  mt.skipped_peers = skipped_peers;
   if (opt_.legacy_fixpoint) {
     auto state = net_.serialize_state();
     mt.changed = state != prev_state_;
     prev_state_ = std::move(state);
+  } else if (active) {
+    changed_owners_.clear();
+    published_owners_.clear();
+    mt.changed =
+        net_.consume_round_changes(&changed_owners_, &published_owners_);
+    apply_wakes();
   } else {
     mt.changed = net_.consume_round_changes();
   }

@@ -3,16 +3,49 @@
 // peer applies rules 1..6 to its own state; all cross-node effects (delayed
 // assignments / messages) are collected and delivered simultaneously at the
 // end of the round. Peers are independent within a round -- no rule reads
-// another node's edge sets, only static attributes (position, realness) and
-// previous-round published rl/rr -- so the phase can be sharded over threads
-// with bit-identical results (asserted in tests).
+// another node's edge sets, only static attributes (position, realness),
+// real-slot aliveness and previous-round published rl/rr -- so the phase can
+// be sharded over threads with bit-identical results (asserted in tests).
+//
+// ACTIVE-SET SCHEDULER (DESIGN.md §6). By default the engine does not re-run
+// the rule phase of every peer every round. A peer whose read set (its own
+// slots plus the published state of the owners it holds edges to) is
+// untouched since its last live run is *provably quiescent-modulo-replay*:
+// its phase is a pure function of unchanged inputs, so the engine replays
+// the recorded phase output -- effective own-slot edits, the emitted delayed
+// ops, the rl/rr publishes and the rule-activity counters -- without
+// entering the rules. Wake-up is driven by the network's reverse-dependency
+// reader index: when an owner's published state changes, its readers run
+// live next round; private edge-set changes wake only the owner itself.
+//
+// On top of replay sits the RESTING-CHAIN SKIP: a quiescent peer whose
+// digests did not move in its last executed round contributed *net zero* to
+// the round -- its recorded edits and the delayed ops addressed to it cancel
+// exactly (the stationary connection-edge chains remove and re-add every
+// chain edge each round). Such a peer can be skipped outright -- no replay,
+// no op emission, no publish -- provided the whole cached op-flow it
+// participates in rests too: the skip set is closed so that every owner a
+// skipped peer's cached ops reference is skipped as well, and no peer
+// running live this round has cached ops into a skipped peer (engine.cpp
+// documents the two closure rules; DESIGN.md §6 has the proof sketch). At
+// the fixpoint every peer is skipped and a round costs a few O(owners)
+// scans; under churn the eviction tracks the perturbed op-flow region. The
+// result is bit-identical to the full scan (flag-gated via
+// EngineOptions::full_scan), serial and sharded, which
+// tests/test_scheduler.cpp asserts.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/network.hpp"
 #include "core/rules.hpp"
 #include "core/types.hpp"
+#include "core/worker_pool.hpp"
+
+namespace rechord::util {
+class Cli;
+}
 
 namespace rechord::core {
 
@@ -24,6 +57,16 @@ struct RoundMetrics {
   std::size_t unmarked_edges = 0;
   std::size_t ring_edges = 0;
   std::size_t connection_edges = 0;
+  /// Peers whose rule phase ran live this round (the active set); equals the
+  /// participating peers under EngineOptions::full_scan.
+  std::size_t active_peers = 0;
+  /// Peers whose inputs were provably unchanged: their cached phase output
+  /// was replayed without re-running the rules.
+  std::size_t replayed_peers = 0;
+  /// Peers skipped outright: provably resting (their recorded edits and the
+  /// ops addressed to them cancel to a net-zero round contribution), so
+  /// neither rules nor replay ran and no ops were emitted.
+  std::size_t skipped_peers = 0;
   /// True when this round changed the global state (fixpoint detector).
   bool changed = true;
 
@@ -41,14 +84,28 @@ struct RoundMetrics {
 
 struct EngineOptions {
   /// Number of worker threads for the rule phase; 1 = serial. Values > 1
-  /// shard peers over threads (deterministic result either way).
+  /// shard peers over a persistent worker pool (deterministic result either
+  /// way).
   unsigned threads = 1;
 
   /// Detect the fixpoint by re-serializing the entire network each round
   /// (the pre-overhaul behavior) instead of the incremental per-slot change
   /// tracking. Same observable results, O(state) per round; kept flag-gated
-  /// for comparison in bench/round_cost and the equivalence tests.
+  /// for comparison in bench/round_cost and the equivalence tests. Implies
+  /// full_scan.
   bool legacy_fixpoint = false;
+
+  /// Run every peer's rule phase every round (the pre-scheduler behavior)
+  /// instead of the active-set scheduler. Same observable results; kept
+  /// flag-gated for the equivalence tests and the bench comparison.
+  bool full_scan = false;
+
+  /// Test instrumentation: peers the scheduler would replay run live anyway
+  /// and their fresh phase output is compared against the cache; mismatches
+  /// are counted in Engine::replay_check_failures(). Proves the wake set
+  /// sound (a replayed peer would have produced exactly the replayed
+  /// output). Ignored under full_scan.
+  bool paranoid_replay = false;
 
   // -- fault injection (beyond the paper's model; see bench/fault_tolerance)
   /// Probability that a peer does NOT act in a given round (asynchrony /
@@ -64,6 +121,11 @@ struct EngineOptions {
   /// Seed of the deterministic fault schedule.
   std::uint64_t fault_seed = 0x5EEDFA17;
 };
+
+/// Parses the engine-related command-line flags shared by the bench and
+/// example binaries: --threads N, --full-scan, --legacy-fixpoint.
+[[nodiscard]] EngineOptions engine_options_from_cli(const util::Cli& cli,
+                                                    EngineOptions base = {});
 
 class Engine {
  public:
@@ -85,7 +147,10 @@ class Engine {
 
   /// Call after out-of-band mutations (churn, fuzzing) so that fixpoint
   /// detection does not compare against a stale snapshot: the next round's
-  /// `changed` is measured against the state at that round's start.
+  /// `changed` is measured against the state at that round's start. Also
+  /// resets the scheduler (every peer runs live, reader index rebuilt).
+  /// Out-of-band mutations *without* a reset are also safe: the engine's
+  /// pre-round scan picks the dirty marks up and wakes the affected peers.
   void reset_change_tracking() {
     prev_state_.clear();
     baseline_ready_ = false;
@@ -99,12 +164,40 @@ class Engine {
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
     return dropped_;
   }
+  /// Replay cross-check mismatches observed under paranoid_replay; any
+  /// nonzero value means the wake set was unsound.
+  [[nodiscard]] std::uint64_t replay_check_failures() const noexcept {
+    return replay_mismatches_;
+  }
 
  private:
+  /// Cached phase output of one peer's last live run; valid (replayable)
+  /// until a slot in the peer's read set changes.
+  struct PeerCache {
+    bool valid = false;
+    std::uint32_t max_index = 0;
+    std::vector<LocalEdit> delta;  // effective own-slot edits, in order
+    std::vector<DelayedOp> ops;    // emitted delayed assignments, in order
+    std::vector<Slot> rl, rr;      // per index 0..max_index
+    /// Distinct owners referenced by `ops` (targets and payloads), sorted.
+    /// The skip set must contain every owner a skipped peer's ops touch --
+    /// payloads too, because commit-time ghost re-homing resolves a dead
+    /// payload against its owner's current slots.
+    std::vector<std::uint32_t> op_owners;
+    /// Set by the live run that recorded this cache iff its output (delta +
+    /// ops) differed from the previous recording; the engine then (re-)
+    /// registers the reader/op-sender index entries. A woken peer that
+    /// reproduces its old output verbatim -- the common case during
+    /// recovery -- skips the registration, whose entries already exist.
+    bool notes_fresh = true;
+    RuleActivity activity;
+  };
+
   Network net_;
   EngineOptions opt_;
   std::uint64_t round_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t replay_mismatches_ = 0;
   RuleActivity activity_;
   std::vector<std::uint64_t> prev_state_;  // legacy_fixpoint only
   bool baseline_ready_ = false;            // incremental-tracking baseline
@@ -119,8 +212,50 @@ class Engine {
   std::vector<RuleActivity> shard_activity_;
   std::vector<std::vector<DelayedOp>> shard_ops_;
   std::vector<RuleArena> arenas_;  // one per worker thread
+  std::unique_ptr<WorkerPool> pool_;
 
+  // Scheduler state (active-set mode).
+  std::vector<PeerCache> cache_;          // per owner
+  std::vector<std::uint8_t> wake_;        // per owner: must run live
+  std::vector<std::uint8_t> skip_;        // per owner: resting, skip outright
+  // op_senders_[o] = sorted owner ids whose cached ops reference o (the
+  // reverse of PeerCache::op_owners). Append-only over-approximation like
+  // the network's reader index; rebuilt from scratch at an epoch reset.
+  std::vector<std::vector<std::uint32_t>> op_senders_;
+  std::vector<std::uint32_t> evict_stack_;  // skip-closure worklist
+  /// Storm mode, re-decided every round: when a majority of live peers is
+  /// digest-woken (mass churn / early convergence), recording caches and
+  /// registering index entries costs more than it can ever save, so live
+  /// runs execute bare -- like a full-scan round -- and invalidate their
+  /// caches; the first calm round re-records them and skip re-engages.
+  bool bulk_round_ = false;
+  std::vector<PeerCache> paranoid_prev_;  // per shard scratch
+  std::vector<std::vector<std::uint32_t>> shard_live_;  // owners run live
+  std::vector<std::vector<std::uint32_t>> shard_ran_;   // live or replayed
+  std::vector<std::size_t> shard_active_, shard_replayed_, shard_skipped_;
+  std::vector<std::uint64_t> shard_mismatch_;
+  std::vector<std::uint32_t> changed_owners_, published_owners_;
+  std::vector<std::uint32_t> oob_owners_;  // out-of-band-dirty owners
+
+  [[nodiscard]] bool active_mode() const noexcept { return !opt_.full_scan; }
+  /// Skipping requires rounds to be repeatable: the per-round fault coins
+  /// (activation, loss) and the paranoid cross-check all force every
+  /// quiescent peer through the replay path instead.
+  [[nodiscard]] bool skip_possible() const noexcept {
+    return active_mode() && opt_.sleep_probability <= 0.0 &&
+           opt_.message_loss <= 0.0 && !opt_.paranoid_replay;
+  }
   void run_peers();
+  void run_range(std::size_t begin, std::size_t end,
+                 std::vector<DelayedOp>& out, unsigned shard);
+  void replay_peer(std::uint32_t owner, const PeerCache& pc,
+                   std::vector<DelayedOp>& out, RuleActivity& act);
+  void ensure_scheduler_arrays();
+  void wake_out_of_band();
+  void apply_wakes();
+  void compute_skip_set();
+  void note_op_sender(std::uint32_t referenced, std::uint32_t sender);
+  void rebuild_flow_indices();
 };
 
 }  // namespace rechord::core

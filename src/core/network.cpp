@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "util/rng.hpp"
+#include "util/sorted_vec.hpp"
 
 namespace rechord::core {
 
@@ -22,7 +23,9 @@ void Network::grow_slots(std::uint32_t owner) {
   rr_.resize(want, kInvalidSlot);
   slot_dirty_.resize(want, 0);
   slot_digest_.resize(want, 0);  // 0 == digest of a dead slot
+  pub_digest_.resize(want, 0);   // ditto
   owner_dirty_.resize(owner + 1, 0);
+  readers_.resize(owner + 1);
   for (auto& per_kind : sets_) per_kind.resize(want);
 }
 
@@ -163,7 +166,7 @@ bool Network::has_edge(Slot s, EdgeKind k, Slot target) const noexcept {
   return it != set.end() && *it == target;
 }
 
-void Network::clear_edges(Slot s) {
+bool Network::clear_edges(Slot s) {
   bool any = false;
   for (int k = 0; k < kEdgeKinds; ++k) {
     auto& set = sets_[k][s];
@@ -174,6 +177,7 @@ void Network::clear_edges(Slot s) {
     any = true;
   }
   if (any) mark_dirty(s);
+  return any;
 }
 
 void Network::normalize() {
@@ -263,11 +267,24 @@ std::uint64_t Network::slot_digest(Slot s) const noexcept {
   return h;
 }
 
+std::uint64_t Network::pub_digest(Slot s) const noexcept {
+  if (!alive_[s]) return 0;
+  return util::mix64(util::mix64(0x9B1D16E57A1ULL ^ s ^ rl_[s]) ^ rr_[s]);
+}
+
 bool Network::consume_round_changes() {
+  return consume_round_changes(nullptr, nullptr);
+}
+
+bool Network::consume_round_changes(
+    std::vector<std::uint32_t>* changed_owners,
+    std::vector<std::uint32_t>* published_owners) {
   bool changed = false;
   for (std::uint32_t o = 0; o < owner_count(); ++o) {
     if (!owner_dirty_[o]) continue;
     owner_dirty_[o] = 0;
+    bool owner_changed = false;
+    bool owner_published = false;
     for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
       const Slot s = slot_of(o, i);
       if (!slot_dirty_[s]) continue;
@@ -276,8 +293,16 @@ bool Network::consume_round_changes() {
       if (d != slot_digest_[s]) {
         slot_digest_[s] = d;
         changed = true;
+        owner_changed = true;
+        const std::uint64_t p = pub_digest(s);
+        if (p != pub_digest_[s]) {
+          pub_digest_[s] = p;
+          owner_published = true;
+        }
       }
     }
+    if (owner_changed && changed_owners) changed_owners->push_back(o);
+    if (owner_published && published_owners) published_owners->push_back(o);
   }
   return changed;
 }
@@ -285,9 +310,25 @@ bool Network::consume_round_changes() {
 void Network::rebuild_change_baseline() {
   for (Slot s = 0; s < slot_count(); ++s) {
     slot_digest_[s] = slot_digest(s);
+    pub_digest_[s] = pub_digest(s);
     slot_dirty_[s] = 0;
   }
   std::fill(owner_dirty_.begin(), owner_dirty_.end(), 0);
+}
+
+void Network::note_reader(std::uint32_t target_owner,
+                          std::uint32_t reader_owner) {
+  if (target_owner == reader_owner) return;  // own slots wake their owner
+  util::insert_sorted_unique(readers_[target_owner], reader_owner);
+}
+
+void Network::rebuild_reader_index() {
+  for (auto& v : readers_) v.clear();
+  for (Slot s = 0; s < slot_count(); ++s) {
+    const std::uint32_t o = owner_of(s);
+    for (const auto& per_kind : sets_)
+      for (Slot t : per_kind[s]) note_reader(owner_of(t), o);
+  }
 }
 
 std::size_t Network::edge_set_bytes() const noexcept {

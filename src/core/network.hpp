@@ -94,14 +94,15 @@ class Network {
   /// Live slots of one owner, ascending index.
   [[nodiscard]] std::vector<Slot> live_slots_of(std::uint32_t owner) const;
 
-  /// Marks a slot alive/dead. Does not touch edges; the engine's commit pass
-  /// re-homes or drops references to dead slots. The flag write is a relaxed
-  /// atomic store: during the sharded rule phase add_edge on another thread
-  /// may read a foreign slot's flag for dead_refs_ tracking (any torn-free
-  /// value is conservative there), and plain byte writes would be a formal
-  /// data race with that read.
-  void set_alive(Slot s, bool alive) {
-    if (alive_[s] == static_cast<std::uint8_t>(alive ? 1 : 0)) return;
+  /// Marks a slot alive/dead; returns false when already in that state. Does
+  /// not touch edges; the engine's commit pass re-homes or drops references
+  /// to dead slots. The flag write is a relaxed atomic store: during the
+  /// sharded rule phase add_edge on another thread may read a foreign slot's
+  /// flag for dead_refs_ tracking (any torn-free value is conservative
+  /// there), and plain byte writes would be a formal data race with that
+  /// read.
+  bool set_alive(Slot s, bool alive) {
+    if (alive_[s] == static_cast<std::uint8_t>(alive ? 1 : 0)) return false;
     const std::int64_t delta = alive ? 1 : -1;
     std::atomic_ref<std::uint8_t>(alive_[s]).store(
         alive ? 1 : 0, std::memory_order_relaxed);
@@ -111,6 +112,7 @@ class Network {
       edge_live_[k].add(delta * static_cast<std::int64_t>(sets_[k][s].size()));
     if (!alive) dead_refs_.store(1);
     mark_dirty(s);
+    return true;
   }
 
   // -- total order ----------------------------------------------------------
@@ -140,7 +142,8 @@ class Network {
   /// Removes (s -> target); returns false if absent.
   bool remove_edge(Slot s, EdgeKind k, Slot target);
   [[nodiscard]] bool has_edge(Slot s, EdgeKind k, Slot target) const noexcept;
-  void clear_edges(Slot s);
+  /// Clears all three sets of `s`; returns false when they were empty.
+  bool clear_edges(Slot s);
 
   // -- published closest-real-neighbor variables (previous round) ------------
 
@@ -186,10 +189,54 @@ class Network {
   /// slots) when nothing changed.
   bool consume_round_changes();
 
+  /// Like consume_round_changes(), but additionally reports (appends) the
+  /// owners affected by the round's changes, split by visibility class --
+  /// the wake inputs of the engine's active-set scheduler (DESIGN.md §6):
+  ///   * `changed_owners`: owners with ANY slot whose full digest moved.
+  ///     Their own phase inputs changed; they must run live next round.
+  ///   * `published_owners`: owners with a slot whose *published* state
+  ///     (aliveness, rl, rr -- the only cross-peer-readable variables per
+  ///     the rules' read-set contract) moved. Peers holding edges to them
+  ///     (`readers()`) must run live next round; pure edge-set changes stay
+  ///     private and wake nobody else.
+  bool consume_round_changes(std::vector<std::uint32_t>* changed_owners,
+                             std::vector<std::uint32_t>* published_owners);
+
   /// Recomputes the digest baseline from the full current state (O(state)).
   /// Call after out-of-band bulk edits when the next consume_round_changes()
   /// should be measured against the state as of *now*.
   void rebuild_change_baseline();
+
+  /// True when any mutation since the last consume_round_changes() touched
+  /// this owner / this slot (the marks consume() clears). Between rounds a
+  /// set mark can only come from an out-of-band mutation -- the engine's
+  /// pre-round scan uses exactly that to wake the affected peers.
+  [[nodiscard]] bool owner_dirty(std::uint32_t owner) const noexcept {
+    return owner_dirty_[owner] != 0;
+  }
+  [[nodiscard]] bool slot_dirty(Slot s) const noexcept {
+    return slot_dirty_[s] != 0;
+  }
+
+  // -- reverse-dependency (reader) index -------------------------------------
+  //
+  // readers(o) over-approximates "peers whose rule phase reads owner o's
+  // published state": every peer that holds (or since the last rebuild held)
+  // an edge of any kind to one of o's slots. Maintained by the engine --
+  // note_reader() is NOT called from the mutators because the sharded rule
+  // phase would race on the per-owner vectors; the engine derives the notes
+  // from recorded LocalEdits and commit deliveries single-threaded.
+
+  /// Registers `reader_owner` as a reader of `target_owner` (idempotent).
+  /// Single-threaded use only.
+  void note_reader(std::uint32_t target_owner, std::uint32_t reader_owner);
+  /// Sorted owner ids registered as readers of `owner`.
+  [[nodiscard]] const std::vector<std::uint32_t>& readers(
+      std::uint32_t owner) const noexcept {
+    return readers_[owner];
+  }
+  /// Rebuilds the reader index exactly from the current edge sets (O(edges)).
+  void rebuild_reader_index();
 
   // -- metrics ---------------------------------------------------------------
 
@@ -224,6 +271,9 @@ class Network {
   std::vector<std::uint8_t> slot_dirty_;    // per slot
   std::vector<std::uint8_t> owner_dirty_;   // per owner
   std::vector<std::uint64_t> slot_digest_;  // per slot baseline
+  std::vector<std::uint64_t> pub_digest_;   // per slot published-state baseline
+  // readers_[o] = sorted owner ids with an edge into one of o's slots.
+  std::vector<std::vector<std::uint32_t>> readers_;
   detail::RelaxedCell<std::int64_t> edge_live_[kEdgeKinds];  // live slots only
   detail::RelaxedCell<std::int64_t> live_slots_;
   detail::RelaxedCell<std::int64_t> live_reals_;
@@ -238,6 +288,9 @@ class Network {
     owner_dirty_[owner_of(s)] = 1;
   }
   [[nodiscard]] std::uint64_t slot_digest(Slot s) const noexcept;
+  /// Digest of the published (cross-peer-readable) part of a slot: aliveness
+  /// and rl/rr. 0 for dead slots.
+  [[nodiscard]] std::uint64_t pub_digest(Slot s) const noexcept;
   void grow_slots(std::uint32_t owner);
 };
 

@@ -147,8 +147,8 @@ void Rules::rule1_virtual_nodes(RuleCtx& ctx) {
   for (int i = 1; i <= m; ++i) {
     const Slot s = slot_of(ctx.owner, static_cast<std::uint32_t>(i));
     if (!net.alive(s)) {
-      net.clear_edges(s);
-      net.set_alive(s, true);
+      ctx.clear_edges(s);
+      ctx.set_alive(s, true);
       ++ctx.activity.virtuals_created;
     }
   }
@@ -161,9 +161,9 @@ void Rules::rule1_virtual_nodes(RuleCtx& ctx) {
     if (!net.alive(s)) continue;
     for (int k = 0; k < kEdgeKinds; ++k)
       for (Slot t : net.edges(s, static_cast<EdgeKind>(k)))
-        net.add_edge(um, EdgeKind::kUnmarked, t);
-    net.clear_edges(s);
-    net.set_alive(s, false);
+        ctx.add_edge(um, EdgeKind::kUnmarked, t);
+    ctx.clear_edges(s);
+    ctx.set_alive(s, false);
     // rl/rr stay at their previous-round published values until commit (see
     // the create loop above); the engine publishes kInvalidSlot for dead
     // slots and normalize() covers the activation-fault path.
@@ -190,8 +190,8 @@ void Rules::rule2_overlap(RuleCtx& ctx) {
         if (cand != kInvalidSlot && net.order_key(cand) > ui_key) uj = cand;
       }
       if (uj == kInvalidSlot || uj == w) continue;
-      net.remove_edge(ui, EdgeKind::kUnmarked, w);
-      net.add_edge(uj, EdgeKind::kUnmarked, w);  // same peer: immediate
+      ctx.remove_edge(ui, EdgeKind::kUnmarked, w);
+      ctx.add_edge(uj, EdgeKind::kUnmarked, w);  // same peer: immediate
       ++ctx.activity.overlap_moves;
     }
   }
@@ -206,7 +206,7 @@ void Rules::rule3_real_neighbors(RuleCtx& ctx) {
     const Slot vl = max_below(net, ctx.known_real, ui_key);
     ctx.rl_cur[idx] = vl;
     if (vl != kInvalidSlot) {
-      net.add_edge(ui, EdgeKind::kUnmarked, vl);
+      ctx.add_edge(ui, EdgeKind::kUnmarked, vl);
       const Key vl_key = net.order_key(vl);
       ctx.scratch = net.edges(ui, EdgeKind::kUnmarked);
       for (Slot y : ctx.scratch) {
@@ -225,7 +225,7 @@ void Rules::rule3_real_neighbors(RuleCtx& ctx) {
     const Slot vr = min_above(net, ctx.known_real, ui_key);
     ctx.rr_cur[idx] = vr;
     if (vr != kInvalidSlot) {
-      net.add_edge(ui, EdgeKind::kUnmarked, vr);
+      ctx.add_edge(ui, EdgeKind::kUnmarked, vr);
       const Key vr_key = net.order_key(vr);
       ctx.scratch = net.edges(ui, EdgeKind::kUnmarked);
       for (Slot y : ctx.scratch) {
@@ -259,7 +259,7 @@ void Rules::rule4_linearize(RuleCtx& ctx) {
     if (std::distance(nu.begin(), split) >= 2) {
       for (auto it = nu.begin(); std::next(it) != split; ++it) {
         ctx.ops.push_back({*std::next(it), EdgeKind::kUnmarked, *it});
-        net.remove_edge(ui, EdgeKind::kUnmarked, *it);
+        ctx.remove_edge(ui, EdgeKind::kUnmarked, *it);
         ++ctx.activity.lin_forwards;
       }
     }
@@ -267,7 +267,7 @@ void Rules::rule4_linearize(RuleCtx& ctx) {
     if (std::distance(split, nu.end()) >= 2) {
       for (auto it = split; std::next(it) != nu.end(); ++it) {
         ctx.ops.push_back({*it, EdgeKind::kUnmarked, *std::next(it)});
-        net.remove_edge(ui, EdgeKind::kUnmarked, *std::next(it));
+        ctx.remove_edge(ui, EdgeKind::kUnmarked, *std::next(it));
         ++ctx.activity.lin_forwards;
       }
     }
@@ -278,9 +278,9 @@ void Rules::rule4_linearize(RuleCtx& ctx) {
       ++ctx.activity.mirror_backedges;
     }
     if (ctx.rl_cur[idx] != kInvalidSlot)
-      net.add_edge(ui, EdgeKind::kUnmarked, ctx.rl_cur[idx]);
+      ctx.add_edge(ui, EdgeKind::kUnmarked, ctx.rl_cur[idx]);
     if (ctx.rr_cur[idx] != kInvalidSlot)
-      net.add_edge(ui, EdgeKind::kUnmarked, ctx.rr_cur[idx]);
+      ctx.add_edge(ui, EdgeKind::kUnmarked, ctx.rr_cur[idx]);
   }
 }
 
@@ -354,7 +354,7 @@ void Rules::rule5_ring(RuleCtx& ctx) {
     for (Slot w : held) {
       const Key w_key = net.order_key(w);
       if (w == ui) {  // degenerate self edge from a garbage initial state
-        net.remove_edge(ui, EdgeKind::kRing, w);
+        ctx.remove_edge(ui, EdgeKind::kRing, w);
         continue;
       }
       if (w_key > ui_key) {
@@ -363,7 +363,7 @@ void Rules::rule5_ring(RuleCtx& ctx) {
         const Slot x = fw_cand.empty() ? kInvalidSlot : fw_cand.back();
         if (x != kInvalidSlot && net.order_key(x) > w_key) {
           ctx.ops.push_back({x, EdgeKind::kUnmarked, w});
-          net.remove_edge(ui, EdgeKind::kRing, w);
+          ctx.remove_edge(ui, EdgeKind::kRing, w);
           ++ctx.activity.ring_resolves;
           continue;
         }
@@ -371,7 +371,7 @@ void Rules::rule5_ring(RuleCtx& ctx) {
         const Slot v = ctx.known.empty() ? kInvalidSlot : ctx.known.front();
         if (v != kInvalidSlot && v != ui && v != w) {
           ctx.ops.push_back({v, EdgeKind::kRing, w});
-          net.remove_edge(ui, EdgeKind::kRing, w);
+          ctx.remove_edge(ui, EdgeKind::kRing, w);
           ++ctx.activity.ring_forwards;
         }
         // else: ui is itself the smallest known node; the edge rests here.
@@ -380,7 +380,7 @@ void Rules::rule5_ring(RuleCtx& ctx) {
         const Slot x = fw_cand.empty() ? kInvalidSlot : fw_cand.front();
         if (x != kInvalidSlot && net.order_key(x) < w_key) {
           ctx.ops.push_back({x, EdgeKind::kUnmarked, w});
-          net.remove_edge(ui, EdgeKind::kRing, w);
+          ctx.remove_edge(ui, EdgeKind::kRing, w);
           ++ctx.activity.ring_resolves;
           continue;
         }
@@ -388,7 +388,7 @@ void Rules::rule5_ring(RuleCtx& ctx) {
         const Slot v = ctx.known.empty() ? kInvalidSlot : ctx.known.back();
         if (v != kInvalidSlot && v != ui && v != w) {
           ctx.ops.push_back({v, EdgeKind::kRing, w});
-          net.remove_edge(ui, EdgeKind::kRing, w);
+          ctx.remove_edge(ui, EdgeKind::kRing, w);
           ++ctx.activity.ring_forwards;
         }
       }
@@ -400,7 +400,7 @@ void Rules::rule6_connection(RuleCtx& ctx) {
   Network& net = ctx.net;
   // connect-virtual-nodes(u): contiguous siblings (by identifier order).
   for (std::size_t i = 0; i + 1 < ctx.siblings.size(); ++i)
-    ctx.activity.cedge_creates += net.add_edge(
+    ctx.activity.cedge_creates += ctx.add_edge(
         ctx.siblings[i], EdgeKind::kConnection, ctx.siblings[i + 1]);
 
   // forward-cedges.
@@ -421,12 +421,12 @@ void Rules::rule6_connection(RuleCtx& ctx) {
         // forward-cedges-2 (and our stuck-edge extension when no candidate
         // below v exists at all): resolve into the unmarked backward edge.
         ctx.ops.push_back({v, EdgeKind::kUnmarked, ui});
-        net.remove_edge(ui, EdgeKind::kConnection, v);
+        ctx.remove_edge(ui, EdgeKind::kConnection, v);
         ++ctx.activity.cedge_resolves;
       } else {
         // forward-cedges-1: move the connection edge one hop toward v.
         ctx.ops.push_back({w, EdgeKind::kConnection, v});
-        net.remove_edge(ui, EdgeKind::kConnection, v);
+        ctx.remove_edge(ui, EdgeKind::kConnection, v);
         ++ctx.activity.cedge_forwards;
       }
     }

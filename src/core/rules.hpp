@@ -13,6 +13,21 @@
 // Each rule is an independent entry point so unit tests can exercise guards
 // and actions in isolation. DESIGN.md documents how every textual ambiguity
 // in the paper was resolved.
+//
+// READ-SET CONTRACT (the soundness basis of the active-set scheduler; see
+// DESIGN.md §6). The phase of a peer u is a pure function of
+//   (a) the full state of u's OWN slots (aliveness, all three edge sets) --
+//       rules 1..6, all candidate sets and snapshots;
+//   (b) static attributes of any referenced slot (position, realness) --
+//       order_key comparisons, never part of the mutable state;
+//   (c) the aliveness of referenced REAL slots -- compute_m only; real
+//       aliveness changes exclusively out-of-band (churn), never in-phase;
+//   (d) the previous-round *published* rl/rr of slots referenced by u's
+//       unmarked edges -- rule 3's inform guard, frozen during the phase.
+// No rule reads another node's edge sets. Every write to another node's
+// state is a DelayedOp; every write to u's own slots goes through the
+// RuleCtx wrappers below so the engine can record the effective mutations
+// (LocalEdit) and replay the phase verbatim while (a)-(d) are unchanged.
 
 #include <array>
 #include <cstdint>
@@ -45,6 +60,9 @@ struct RuleActivity {
 
   RuleActivity& operator+=(const RuleActivity& o) noexcept;
   [[nodiscard]] std::uint64_t total() const noexcept;
+
+  friend bool operator==(const RuleActivity&,
+                         const RuleActivity&) noexcept = default;
 };
 
 /// Reusable scratch buffers backing one RuleCtx. The engine keeps one arena
@@ -79,6 +97,38 @@ struct RuleCtx {
   /// back indices [0, max_index]. Conservative default for isolated-rule
   /// callers that never run rule 1.
   std::uint32_t max_index = kSlotsPerOwner - 1;
+
+  /// When set (engine live runs under the active-set scheduler), every
+  /// *effective* mutation of this peer's own slots is appended here via the
+  /// wrappers below, so the phase can later be replayed verbatim.
+  std::vector<LocalEdit>* record = nullptr;
+
+  // Own-slot mutation wrappers: the ONLY write path the rules use. They
+  // forward to the network and record effective mutations when requested.
+  bool add_edge(Slot s, EdgeKind k, Slot target) {
+    const bool did = net.add_edge(s, k, target);
+    if (did && record)
+      record->push_back({s, target, LocalEdit::Op::kAddEdge, k});
+    return did;
+  }
+  bool remove_edge(Slot s, EdgeKind k, Slot target) {
+    const bool did = net.remove_edge(s, k, target);
+    if (did && record)
+      record->push_back({s, target, LocalEdit::Op::kRemoveEdge, k});
+    return did;
+  }
+  void clear_edges(Slot s) {
+    if (net.clear_edges(s) && record)
+      record->push_back(
+          {s, kInvalidSlot, LocalEdit::Op::kClearEdges, EdgeKind::kUnmarked});
+  }
+  void set_alive(Slot s, bool alive) {
+    if (net.set_alive(s, alive) && record)
+      record->push_back({s, kInvalidSlot,
+                         alive ? LocalEdit::Op::kSetAlive
+                               : LocalEdit::Op::kSetDead,
+                         EdgeKind::kUnmarked});
+  }
 
   /// Backing storage for the convenience constructor only; engine callers
   /// pass a long-lived arena instead.

@@ -55,6 +55,29 @@ struct OrderKey {
                                     const OrderKey&) noexcept = default;
 };
 
+/// One *effective* mutation of a peer's own slots, recorded during a live
+/// rule phase (RuleCtx::record). The active-set scheduler replays the
+/// recorded sequence verbatim while the peer's inputs are provably
+/// unchanged: on an identical start state the same sequence reproduces the
+/// identical end-of-phase state, including the stationary connection-chain
+/// rotation, without re-entering the rules.
+struct LocalEdit {
+  enum class Op : std::uint8_t {
+    kAddEdge,     // add_edge(slot, kind, target)
+    kRemoveEdge,  // remove_edge(slot, kind, target)
+    kClearEdges,  // clear_edges(slot)
+    kSetAlive,    // set_alive(slot, true)
+    kSetDead,     // set_alive(slot, false)
+  };
+  Slot slot;
+  Slot target;  // kAddEdge / kRemoveEdge only
+  Op op;
+  EdgeKind kind;  // kAddEdge / kRemoveEdge only
+
+  friend constexpr bool operator==(const LocalEdit&,
+                                   const LocalEdit&) noexcept = default;
+};
+
 /// A cross-node state change: the paper's "delayed assignment" A ⇐ B.
 /// All cross-node commands in rules 1-6 are set insertions, so one op shape
 /// suffices: insert `payload` into edge set `kind` of node `target` at the

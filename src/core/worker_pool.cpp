@@ -1,0 +1,59 @@
+#include "core/worker_pool.hpp"
+
+namespace rechord::core {
+
+WorkerPool::WorkerPool(unsigned extra_workers) {
+  workers_.reserve(extra_workers);
+  for (unsigned i = 0; i < extra_workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    unsigned shard = index + 1;
+    {
+      std::unique_lock lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (shard < shards_) job = job_;
+    }
+    if (job) (*job)(shard);
+    {
+      std::lock_guard lk(mu_);
+      ++acked_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::run(unsigned shards,
+                     const std::function<void(unsigned)>& job) {
+  {
+    std::lock_guard lk(mu_);
+    job_ = &job;
+    shards_ = shards;
+    acked_ = 0;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  job(0);
+  std::unique_lock lk(mu_);
+  // Every worker acks each generation (even the idle ones), so this both
+  // waits for the shards and re-parks the pool for the next round.
+  done_cv_.wait(lk, [&] { return acked_ == workers_.size(); });
+  job_ = nullptr;
+}
+
+}  // namespace rechord::core

@@ -1,0 +1,52 @@
+#pragma once
+// Persistent worker pool for the engine's sharded rule phase. The engine used
+// to spawn and join one std::thread per shard every round; at steady state
+// that is pure overhead (thread creation costs more than a replayed round).
+// The pool keeps its workers parked on a condition variable between rounds
+// and is shared by the active-set scheduler and the flag-gated full-scan
+// path -- both call run() with the same shard layout, so the choice of
+// scheduler never changes the thread structure.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rechord::core {
+
+class WorkerPool {
+ public:
+  /// Spawns `extra_workers` parked threads; the calling thread of run()
+  /// always executes shard 0, so a pool for T-way sharding needs T-1 workers.
+  explicit WorkerPool(unsigned extra_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Executes job(i) for every i in [0, shards): shard 0 on the calling
+  /// thread, shards 1..shards-1 on parked workers (worker w takes shard
+  /// w+1; workers beyond shards-1 stay idle). Blocks until every shard has
+  /// finished. Not reentrant.
+  void run(unsigned shards, const std::function<void(unsigned)>& job);
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped by run(); wakes the workers
+  unsigned shards_ = 0;
+  unsigned acked_ = 0;  // workers done with the current generation
+  bool stop_ = false;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rechord::core

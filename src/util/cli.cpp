@@ -29,6 +29,13 @@ Cli::Cli(int argc, const char* const* argv) {
 
 bool Cli::has(const std::string& key) const { return kv_.count(key) != 0; }
 
+bool Cli::get_flag(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  const std::string& v = it->second;
+  return v.empty() || !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
 std::string Cli::get(const std::string& key, const std::string& fallback) const {
   const auto it = kv_.find(key);
   return it == kv_.end() ? fallback : it->second;

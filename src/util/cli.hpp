@@ -16,6 +16,10 @@ class Cli {
   Cli(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(const std::string& key) const;
+  /// Boolean flag: true for bare `--key`, `--key 1`, `--key=true` etc.;
+  /// false when absent or given an explicit falsy value (`--key 0`,
+  /// `--key=false`). Used for --full-scan / --legacy-fixpoint.
+  [[nodiscard]] bool get_flag(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,

@@ -1,0 +1,20 @@
+#pragma once
+// Sorted-unique vector insertion, shared by the append-only index
+// structures (the network's reader index, the engine's op-sender index).
+
+#include <algorithm>
+#include <vector>
+
+namespace rechord::util {
+
+/// Inserts `value` into the ascending-sorted `v` unless already present;
+/// returns true when inserted.
+template <typename T>
+bool insert_sorted_unique(std::vector<T>& v, const T& value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) return false;
+  v.insert(it, value);
+  return true;
+}
+
+}  // namespace rechord::util

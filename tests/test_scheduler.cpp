@@ -1,0 +1,286 @@
+// Property tests of the active-set scheduler (DESIGN.md §6): replaying a
+// peer whose read set is untouched -- or skipping a provably *resting* peer
+// outright -- must be indistinguishable, bit for bit, from re-running its
+// rules. We assert that over randomized churn and fault schedules, serial
+// and sharded, additionally let the engine cross-check every single replay
+// against a live re-execution (EngineOptions::paranoid_replay), and pin the
+// fixpoint behavior (every peer skipped, fingerprint frozen) and the skip
+// set's recovery after churn.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "core/engine.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+#include "test_util.hpp"
+
+namespace rechord::core {
+namespace {
+
+Network random_net(std::size_t n, std::uint64_t seed, bool scrambled) {
+  util::Rng rng(seed);
+  Network net = gen::make_network(gen::Topology::kRandomConnected, n, rng);
+  if (scrambled) gen::scramble_state(net, rng);
+  return net;
+}
+
+// Applies one random churn event identically to every engine's network (the
+// rng draw sequence is independent of the engine count, so one- and
+// two-engine runs see the same schedule). Roughly a third of the events
+// skip the reset, exercising the engine's out-of-band dirty-mark scan (the
+// two-round wake).
+void churn_all(std::initializer_list<Engine*> engines, util::Rng& rng) {
+  const auto owners = (*engines.begin())->network().live_owners();
+  for (Engine* e : engines) ASSERT_EQ(owners, e->network().live_owners());
+  const std::uint32_t pick = owners[rng.below(owners.size())];
+  switch (rng.below(3)) {
+    case 0: {
+      const RingPos id = rng.next();
+      for (Engine* e : engines) join(e->network(), id, pick);
+      break;
+    }
+    case 1:
+      if (owners.size() <= 4) return;
+      for (Engine* e : engines) crash(e->network(), pick);
+      break;
+    default:
+      if (owners.size() <= 4) return;
+      for (Engine* e : engines) leave_gracefully(e->network(), pick);
+      break;
+  }
+  if (rng.below(3) != 0)
+    for (Engine* e : engines) e->reset_change_tracking();
+}
+
+void churn_both(Engine& a, Engine& b, util::Rng& rng) {
+  churn_all({&a, &b}, rng);
+}
+
+// Lockstep equivalence driver: every round must produce identical state
+// fingerprints and identical fixpoint-detector verdicts. Accumulates the
+// work the active engine avoided (peer-replays and outright skips) into
+// `avoided`.
+void lockstep(Engine& active, Engine& full, util::Rng& churn_rng, int rounds,
+              int churn_every, std::uint64_t& avoided) {
+  for (int r = 0; r < rounds; ++r) {
+    if (churn_every > 0 && r > 0 && r % churn_every == 0)
+      churn_both(active, full, churn_rng);
+    const auto ma = active.step();
+    const auto mf = full.step();
+    avoided += ma.replayed_peers + ma.skipped_peers;
+    ASSERT_EQ(ma.changed, mf.changed) << "round " << r;
+    ASSERT_EQ(active.network().state_fingerprint(),
+              full.network().state_fingerprint())
+        << "round " << r;
+  }
+}
+
+// >= 120 randomized churn rounds serial: 3 seeds x 2 initial-state kinds x
+// 40 rounds, churn every 7 rounds, resets only sometimes.
+TEST(Scheduler, ActiveVsFullScanBitIdenticalUnderChurnSerial) {
+  std::uint64_t total_avoided = 0;
+  for (std::uint64_t seed : {61ULL, 62ULL, 63ULL}) {
+    for (bool scrambled : {false, true}) {
+      Engine active(random_net(60, seed, scrambled), {.threads = 1});
+      Engine full(random_net(60, seed, scrambled),
+                  {.threads = 1, .full_scan = true});
+      util::Rng churn_rng(seed * 101);
+      lockstep(active, full, churn_rng, 40, 7, total_avoided);
+      if (HasFatalFailure()) return;
+    }
+  }
+  // The scheduler must actually have skipped work, not just matched.
+  EXPECT_GT(total_avoided, 0U);
+}
+
+// Same property with the active engine sharded over the 8-thread worker
+// pool, compared against the serial full scan: one run covers both
+// "active == full" and "sharded == serial".
+TEST(Scheduler, ActiveEightThreadsVsFullScanSerialBitIdentical) {
+  std::uint64_t total_avoided = 0;
+  for (std::uint64_t seed : {71ULL, 72ULL}) {
+    Engine active(random_net(100, seed, /*scrambled=*/true), {.threads = 8});
+    Engine full(random_net(100, seed, /*scrambled=*/true),
+                {.threads = 1, .full_scan = true});
+    util::Rng churn_rng(seed * 103);
+    lockstep(active, full, churn_rng, 60, 9, total_avoided);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GT(total_avoided, 0U);
+}
+
+// Equivalence must survive fault injection: activation faults (a woken
+// peer that sleeps keeps its wake flag) and message loss (identical op
+// multisets give identical drop coins).
+TEST(Scheduler, ActiveVsFullScanBitIdenticalUnderFaults) {
+  for (std::uint64_t seed : {81ULL, 82ULL}) {
+    const EngineOptions base{.threads = 1,
+                             .sleep_probability = 0.25,
+                             .message_loss = 0.1,
+                             .fault_seed = seed * 7};
+    EngineOptions full_opt = base;
+    full_opt.full_scan = true;
+    Engine active(random_net(40, seed, /*scrambled=*/false), base);
+    Engine full(random_net(40, seed, /*scrambled=*/false), full_opt);
+    util::Rng churn_rng(seed * 107);
+    std::uint64_t replays = 0;
+    lockstep(active, full, churn_rng, 80, 11, replays);
+    if (HasFatalFailure()) return;
+  }
+}
+
+// Wake-set soundness, checked directly: every peer the scheduler would have
+// replayed is run live instead, and the fresh phase output (local edits,
+// delayed ops, rl/rr, activity) is diffed against the cache. A single
+// mismatch means a peer was wrongly considered quiescent.
+TEST(Scheduler, ParanoidReplayCrossCheckFindsNoMismatch) {
+  std::uint64_t checked_replays = 0;
+  for (std::uint64_t seed : {91ULL, 92ULL, 93ULL}) {
+    Engine engine(random_net(50, seed, seed % 2 == 0),
+                  {.paranoid_replay = true});
+    util::Rng churn_rng(seed * 109);
+    for (int r = 0; r < 50; ++r) {
+      if (r > 0 && r % 8 == 0) churn_all({&engine}, churn_rng);
+      checked_replays += engine.step().replayed_peers;
+      ASSERT_EQ(engine.replay_check_failures(), 0U)
+          << "seed=" << seed << " round=" << r;
+    }
+  }
+  EXPECT_GT(checked_replays, 1000U);  // the check must have had real targets
+}
+
+// Fixpoint detection agreement plus the scheduler's raison d'être: once the
+// fixpoint is reached, every peer rests -- the whole op flow is recognized
+// as a resting chain and skipped outright (no rules, no replay, no ops) --
+// while the detector keeps reporting an unchanged state and the state
+// fingerprint stays frozen.
+TEST(Scheduler, FixpointRoundsSkipEveryPeer) {
+  Engine active(random_net(80, 33, /*scrambled=*/false), {});
+  Engine full(random_net(80, 33, /*scrambled=*/false), {.full_scan = true});
+  const auto spec = StableSpec::compute(active.network());
+  RunOptions opt;
+  opt.max_rounds = 20000;
+  const auto ra = run_to_stable(active, spec, opt);
+  const auto rf = run_to_stable(full, spec, opt);
+  ASSERT_TRUE(ra.stabilized);
+  ASSERT_TRUE(ra.spec_exact);
+  EXPECT_EQ(ra.rounds_to_stable, rf.rounds_to_stable);
+  const std::size_t peers = active.network().alive_owner_count();
+  const std::uint64_t frozen = active.network().state_fingerprint();
+  // One settling round (quiescence is observed at the end of the round that
+  // proves it), then every round must skip every peer.
+  active.step();
+  for (int r = 0; r < 5; ++r) {
+    const auto mt = active.step();
+    EXPECT_FALSE(mt.changed);
+    EXPECT_EQ(mt.active_peers, 0U);
+    EXPECT_EQ(mt.replayed_peers, 0U);
+    EXPECT_EQ(mt.skipped_peers, peers);
+    EXPECT_EQ(active.network().state_fingerprint(), frozen);
+  }
+  // The full scan sees the identical frozen state.
+  full.step();
+  EXPECT_EQ(full.network().state_fingerprint(), frozen);
+}
+
+// After a perturbation the scheduler must (a) stay bit-identical to the full
+// scan through recovery and (b) find its way back to all-peers-skipped
+// fixpoint rounds -- the skip set heals, it does not degrade permanently.
+TEST(Scheduler, SkipSetReEngagesAfterChurn) {
+  Engine active(random_net(70, 35, /*scrambled=*/false), {});
+  Engine full(random_net(70, 35, /*scrambled=*/false), {.full_scan = true});
+  const auto spec = StableSpec::compute(active.network());
+  RunOptions opt;
+  opt.max_rounds = 20000;
+  ASSERT_TRUE(run_to_stable(active, spec, opt).stabilized);
+  ASSERT_TRUE(run_to_stable(full, spec, opt).stabilized);
+  util::Rng rng(17);
+  for (int burst = 0; burst < 3; ++burst) {
+    churn_both(active, full, rng);
+    std::size_t all_skipped_rounds = 0;
+    for (int r = 0; r < 400; ++r) {
+      const auto mt = active.step();
+      full.step();
+      ASSERT_EQ(active.network().state_fingerprint(),
+                full.network().state_fingerprint())
+          << "burst " << burst << " round " << r;
+      if (mt.skipped_peers == active.network().alive_owner_count() &&
+          !mt.changed)
+        ++all_skipped_rounds;
+      if (all_skipped_rounds >= 3) break;
+    }
+    EXPECT_GE(all_skipped_rounds, 3U) << "burst " << burst;
+  }
+}
+
+// Storm (bulk) rounds run live peers bare -- no cache recording, no
+// incremental index registration -- so the reader/op-sender indices must be
+// rebuilt at the storm->calm transition before anyone goes quiescent again.
+// This drives a mass crash WITHOUT reset_change_tracking (a reset would
+// rebuild the indices and mask a registration hole), keeps lockstep with
+// the full scan through the whole recovery and well past re-stabilization,
+// and checks that the storm path actually ran and that skip re-engaged.
+TEST(Scheduler, StormWithoutResetStaysBitIdentical) {
+  for (std::uint64_t seed : {41ULL, 42ULL}) {
+    Engine active(random_net(90, seed, /*scrambled=*/false), {});
+    Engine full(random_net(90, seed, /*scrambled=*/false),
+                {.full_scan = true});
+    const auto spec = StableSpec::compute(active.network());
+    RunOptions opt;
+    opt.max_rounds = 20000;
+    ASSERT_TRUE(run_to_stable(active, spec, opt).stabilized);
+    ASSERT_TRUE(run_to_stable(full, spec, opt).stabilized);
+    active.step();  // settle into all-skipped rounds
+    full.step();
+    util::Rng rng(seed * 113);
+    for (int i = 0; i < 15; ++i) {  // majority-waking crash burst, no reset
+      const auto owners = active.network().live_owners();
+      const std::uint32_t pick = owners[rng.below(owners.size())];
+      crash(active.network(), pick);
+      crash(full.network(), pick);
+    }
+    std::size_t max_active = 0, all_skipped_rounds = 0;
+    for (int r = 0; r < 250; ++r) {
+      const auto mt = active.step();
+      full.step();
+      ASSERT_EQ(active.network().state_fingerprint(),
+                full.network().state_fingerprint())
+          << "seed " << seed << " round " << r;
+      max_active = std::max(max_active, mt.active_peers);
+      if (!mt.changed &&
+          mt.skipped_peers == active.network().alive_owner_count())
+        ++all_skipped_rounds;
+    }
+    // The burst must actually have driven a storm (majority live) and the
+    // scheduler must have found its way back to resting rounds.
+    EXPECT_GT(max_active, active.network().alive_owner_count() / 2)
+        << "seed " << seed;
+    EXPECT_GT(all_skipped_rounds, 0U) << "seed " << seed;
+  }
+}
+
+// Perturbation locality: after a single join into a stabilized network, the
+// wake set must stay a small neighborhood, not O(n).
+TEST(Scheduler, SingleJoinWakesOnlyANeighborhood) {
+  Engine engine(random_net(120, 34, /*scrambled=*/false), {});
+  const auto spec = StableSpec::compute(engine.network());
+  RunOptions opt;
+  opt.max_rounds = 20000;
+  ASSERT_TRUE(run_to_stable(engine, spec, opt).stabilized);
+  util::Rng rng(5);
+  const auto owners = engine.network().live_owners();
+  join(engine.network(), rng.next(), owners[owners.size() / 2]);
+  // No reset: exercises the out-of-band dirty scan.
+  std::size_t max_active = 0;
+  for (int r = 0; r < 4; ++r)
+    max_active = std::max(max_active, engine.step().active_peers);
+  EXPECT_GT(max_active, 0U);
+  EXPECT_LT(max_active, engine.network().alive_owner_count() / 2);
+}
+
+}  // namespace
+}  // namespace rechord::core
