@@ -1,0 +1,122 @@
+// Scenario runner: lists and executes the registered event-timeline
+// scenarios (sim/scenario.hpp) against one persistent engine run.
+//
+//   ./scenario_runner --list
+//   ./scenario_runner --scenario flash-crowd [--n 48] [--seed 1] [--ops K]
+//                     [--intensity X] [--replicas 2] [--threads T]
+//                     [--full-scan] [--csv series.csv]
+//   ./scenario_runner --all [--seed 1]        (smoke-run every scenario)
+//
+// Exit code 0 iff every convergence checkpoint of every executed scenario
+// passed -- CI runs two scenarios through this binary and relies on it.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sim/scenario.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rechord;
+
+void print_outcome(const sim::ScenarioOutcome& out) {
+  std::printf("scenario %s: n=%zu, %llu rounds total, %s\n", out.name.c_str(),
+              out.n, static_cast<unsigned long long>(out.total_rounds),
+              out.ok ? "all checkpoints passed" : "CHECKPOINT FAILED");
+  util::Table table({"#", "checkpoint", "events", "peers", "integ", "exact",
+                     "live p-r", "skip p-r", "ok"});
+  int i = 0;
+  for (const auto& cp : out.checkpoints) {
+    std::string events = cp.events.empty() ? "-" : cp.events;
+    if (events.size() > 36) events = events.substr(0, 33) + "...";
+    table.add_row({std::to_string(++i), cp.label, events,
+                   std::to_string(cp.peers),
+                   std::to_string(cp.rounds_almost),
+                   std::to_string(cp.rounds),
+                   std::to_string(cp.live_peer_rounds),
+                   std::to_string(cp.skipped_peer_rounds),
+                   cp.passed ? "ok" : "FAILED"});
+  }
+  table.print(std::cout);
+  if (out.workload.puts + out.workload.lookups > 0) {
+    std::printf("workload: %zu puts (%zu failed), %zu lookups "
+                "(%zu found, %zu stale-miss, %zu lost-miss), mean %.2f hops, "
+                "max %zu records lost\n",
+                out.workload.puts, out.workload.put_failures,
+                out.workload.lookups, out.workload.lookups_found,
+                out.workload.stale_misses, out.workload.lost_misses,
+                out.workload.mean_hops(), out.workload.max_lost_records);
+  }
+  if (out.messages_dropped + out.partition_dropped > 0)
+    std::printf("faults: %llu messages lost, %llu dropped at partition cut\n",
+                static_cast<unsigned long long>(out.messages_dropped),
+                static_cast<unsigned long long>(out.partition_dropped));
+  std::printf("scheduler: %llu live / %llu replayed / %llu skipped "
+              "peer-rounds, final fingerprint %016llx\n\n",
+              static_cast<unsigned long long>(out.live_peer_rounds),
+              static_cast<unsigned long long>(out.replayed_peer_rounds),
+              static_cast<unsigned long long>(out.skipped_peer_rounds),
+              static_cast<unsigned long long>(out.final_fingerprint));
+}
+
+int run_one(const sim::ScenarioInfo& info, const sim::ScenarioParams& params,
+            const std::string& csv_path) {
+  std::ofstream csv_file;
+  std::ostream* csv = nullptr;
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 2;
+    }
+    csv = &csv_file;
+  }
+  const sim::Scenario sc = info.build(params);
+  const auto out = sim::run_scenario(sc, params, csv);
+  print_outcome(out);
+  if (csv) std::printf("(csv series written to %s)\n", csv_path.c_str());
+  return out.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto& registry = sim::scenario_registry();
+
+  if (cli.get_flag("list") ||
+      (!cli.has("scenario") && !cli.get_flag("all"))) {
+    std::printf("%zu registered scenarios:\n\n", registry.size());
+    for (const auto& info : registry)
+      std::printf("  %-22s %s\n", info.name.c_str(),
+                  info.description.c_str());
+    std::printf("\nrun one:   %s --scenario <name> [--n N] [--seed S] "
+                "[--ops K] [--intensity X]\n"
+                "           [--threads T] [--full-scan] [--csv series.csv]\n"
+                "run all:   %s --all\n",
+                cli.program().c_str(), cli.program().c_str());
+    return 0;
+  }
+
+  const auto params = sim::scenario_params_from_cli(cli);
+  if (cli.get_flag("all")) {
+    int failures = 0;
+    for (const auto& info : registry)
+      failures += run_one(info, params, "") != 0;
+    std::printf("%d/%zu scenarios passed\n",
+                static_cast<int>(registry.size()) - failures, registry.size());
+    return failures == 0 ? 0 : 1;
+  }
+
+  const std::string name = cli.scenario();
+  const sim::ScenarioInfo* info = sim::find_scenario(name);
+  if (!info) {
+    std::fprintf(stderr, "error: unknown scenario '%s' (try --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  return run_one(*info, params, cli.csv_path());
+}

@@ -4,27 +4,66 @@
 //       round with probability p (a crude asynchrony model, cf. the
 //       asynchronous linearization of Clouser et al. cited in §1.2), and
 //   (b) message loss -- a fraction of delayed assignments is dropped.
-// Expectation: (a) only stretches convergence (~1/(1-p)); (b) mild loss is
-// absorbed because the rules re-emit information every round, heavy loss
-// starts destroying forwarded edges and recovery becomes probabilistic.
+// Both sweeps drive the registered `sleepy-bringup` / `lossy-bringup`
+// scenario timelines (sim/scenario.hpp) with the probability as the
+// intensity knob; the per-trial measurement is the scenario's AwaitAlmost
+// checkpoint. Expectation: (a) only stretches convergence (~1/(1-p));
+// (b) mild loss is absorbed because the rules re-emit information every
+// round, heavy loss starts destroying forwarded edges and recovery becomes
+// probabilistic.
 
 #include "common.hpp"
 
-#include "core/convergence.hpp"
-#include "gen/topologies.hpp"
+#include "sim/scenario.hpp"
 
 namespace {
 
 using namespace rechord;
 
-// Rounds until almost-stable under a faulty engine (cap+1 = never).
-std::uint64_t almost_rounds(core::Engine& engine, const core::StableSpec& spec,
-                            std::uint64_t cap) {
-  for (std::uint64_t r = 1; r <= cap; ++r) {
-    engine.step();
-    if (spec.almost_stable(engine.network())) return r;
+struct SweepPoint {
+  std::size_t recovered = 0;
+  util::OnlineStats rounds;  // rounds to almost-stable (recovered trials)
+  util::OnlineStats drops;   // messages dropped per trial
+};
+
+SweepPoint sweep(const char* scenario, double p, const bench::BenchConfig& cfg,
+                 std::size_t n, std::uint64_t cap) {
+  SweepPoint pt;
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    sim::ScenarioParams params;
+    params.n = n;
+    params.seed = cfg.seed + t;
+    params.intensity = p;
+    params.engine.threads = cfg.threads;
+    params.engine.fault_seed = cfg.seed + 31 * t;
+    // The sweep measures only the under-fault AwaitAlmost phase: raise its
+    // cap to --cap and truncate the timeline after it, dropping the
+    // scenario's trailing fault-free exact-convergence phase (unmeasured
+    // here, and expensive at heavy fault probabilities).
+    sim::Scenario sc = sim::find_scenario(scenario)->build(params);
+    for (std::size_t i = 0; i < sc.timeline.size(); ++i) {
+      if (auto* almost = std::get_if<sim::AwaitAlmost>(&sc.timeline[i])) {
+        almost->max_rounds = cap;
+        sc.timeline.resize(i + 1);
+        break;
+      }
+    }
+    const auto out = sim::run_scenario(sc, params);
+    const auto& almost = out.checkpoints.front();  // the AwaitAlmost phase
+    pt.drops.add(static_cast<double>(out.messages_dropped));
+    if (almost.reached) {
+      ++pt.recovered;
+      pt.rounds.add(static_cast<double>(almost.rounds));
+    }
   }
-  return cap + 1;
+  return pt;
+}
+
+std::string pct(std::size_t num, std::size_t den) {
+  return util::fixed(100.0 * static_cast<double>(num) /
+                         static_cast<double>(den),
+                     0) +
+         "%";
 }
 
 }  // namespace
@@ -41,32 +80,19 @@ int main(int argc, char** argv) {
 
   util::Table sleep_table({"sleep prob", "recovered", "rounds to almost",
                            "slowdown vs sync"});
+  std::vector<std::vector<double>> csv_rows;
   double sync_rounds = 0;
   for (double p : {0.0, 0.2, 0.4, 0.6, 0.8}) {
-    util::OnlineStats rounds;
-    std::size_t ok = 0;
-    for (std::size_t t = 0; t < cfg.trials; ++t) {
-      util::Rng rng(cfg.seed + t);
-      core::Engine engine(
-          gen::make_network(gen::Topology::kRandomConnected, n, rng),
-          {.sleep_probability = p, .fault_seed = cfg.seed + 31 * t});
-      const auto spec = core::StableSpec::compute(engine.network());
-      const auto r = almost_rounds(engine, spec, cap);
-      if (r <= cap) {
-        ++ok;
-        rounds.add(static_cast<double>(r));
-      }
-    }
-    if (p == 0.0) sync_rounds = rounds.mean();
+    const auto pt = sweep("sleepy-bringup", p, cfg, n, cap);
+    if (p == 0.0) sync_rounds = pt.rounds.mean();
     sleep_table.add_row(
-        {util::fixed(p, 1),
-         util::fixed(100.0 * static_cast<double>(ok) /
-                         static_cast<double>(cfg.trials),
-                     0) +
-             "%",
-         util::fixed(rounds.mean(), 1),
-         util::fixed(sync_rounds > 0 ? rounds.mean() / sync_rounds : 1.0, 2) +
+        {util::fixed(p, 1), pct(pt.recovered, cfg.trials),
+         util::fixed(pt.rounds.mean(), 1),
+         util::fixed(sync_rounds > 0 ? pt.rounds.mean() / sync_rounds : 1.0,
+                     2) +
              "x"});
+    csv_rows.push_back({0.0, p, static_cast<double>(pt.recovered),
+                        pt.rounds.mean(), pt.drops.mean()});
   }
   sleep_table.print(std::cout);
   std::printf("\n");
@@ -74,33 +100,22 @@ int main(int argc, char** argv) {
   util::Table loss_table({"loss prob", "recovered", "rounds to almost",
                           "msgs dropped"});
   for (double p : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
-    util::OnlineStats rounds, drops;
-    std::size_t ok = 0;
-    for (std::size_t t = 0; t < cfg.trials; ++t) {
-      util::Rng rng(cfg.seed + t);
-      core::Engine engine(
-          gen::make_network(gen::Topology::kRandomConnected, n, rng),
-          {.message_loss = p, .fault_seed = cfg.seed + 17 * t});
-      const auto spec = core::StableSpec::compute(engine.network());
-      const auto r = almost_rounds(engine, spec, cap);
-      drops.add(static_cast<double>(engine.messages_dropped()));
-      if (r <= cap) {
-        ++ok;
-        rounds.add(static_cast<double>(r));
-      }
-    }
-    loss_table.add_row(
-        {util::fixed(p, 2),
-         util::fixed(100.0 * static_cast<double>(ok) /
-                         static_cast<double>(cfg.trials),
-                     0) +
-             "%",
-         rounds.count() ? util::fixed(rounds.mean(), 1) : "-",
-         util::fixed(drops.mean(), 0)});
+    const auto pt = sweep("lossy-bringup", p, cfg, n, cap);
+    loss_table.add_row({util::fixed(p, 2), pct(pt.recovered, cfg.trials),
+                        pt.rounds.count() ? util::fixed(pt.rounds.mean(), 1)
+                                          : "-",
+                        util::fixed(pt.drops.mean(), 0)});
+    csv_rows.push_back({1.0, p, static_cast<double>(pt.recovered),
+                        pt.rounds.mean(), pt.drops.mean()});
   }
   loss_table.print(std::cout);
   std::printf("\nasynchrony costs ~1/(1-p) slowdown and never correctness;\n"
               "message loss is absorbed while the per-round re-emission can\n"
               "outrun the destruction of forwarded edges (n=%zu peers).\n", n);
+  // sweep: 0 = sleep (partial activation), 1 = message loss.
+  bench::emit_csv(cli.csv_path(),
+                  {"sweep", "probability", "recovered", "rounds_to_almost",
+                   "msgs_dropped"},
+                  csv_rows);
   return 0;
 }

@@ -1,50 +1,17 @@
 // Theorems 4.1 / 4.2 -- churn recovery: a join into a stable network
 // re-stabilizes in O(log^2 n) rounds; a (graceful) leave or a crash failure
-// in O(log n) rounds. We measure rounds back to the exact fixpoint for each
-// operation and report them against log2(n) and log2(n)^2.
+// in O(log n) rounds. Each trial drives the registered `join-leave-waves`
+// scenario timeline (sim/scenario.hpp): one persistent overlay absorbs a
+// wave of joins, then graceful leaves, then crashes, every op run to the
+// exact fixpoint; the per-op checkpoints (labelled join/leave/crash) are
+// aggregated and reported against log2(n) and log2(n)^2.
 
 #include "common.hpp"
 
-#include "core/churn.hpp"
-#include "core/convergence.hpp"
-#include "gen/topologies.hpp"
-
-namespace {
-
-using namespace rechord;
-
-core::Engine stable_engine(std::size_t n, std::uint64_t seed,
-                           unsigned threads) {
-  util::Rng rng(seed);
-  core::Engine engine(
-      gen::make_network(gen::Topology::kRandomConnected, n, rng),
-      {.threads = threads});
-  const auto spec = core::StableSpec::compute(engine.network());
-  core::RunOptions opt;
-  opt.max_rounds = 1'000'000;
-  (void)core::run_to_stable(engine, spec, opt);
-  return engine;
-}
-
-struct Resettle {
-  std::uint64_t integration;  // rounds until all desired edges exist again
-  std::uint64_t exact;        // rounds until the exact fixpoint
-};
-
-// Theorems 4.1/4.2 bound the INTEGRATION time; leftover unnecessary edges
-// are explicitly excluded ("eliminated after at most O(n log n) rounds").
-Resettle resettle(core::Engine& engine) {
-  engine.reset_change_tracking();
-  const auto spec = core::StableSpec::compute(engine.network());
-  core::RunOptions opt;
-  opt.max_rounds = 1'000'000;
-  const auto r = core::run_to_stable(engine, spec, opt);
-  return {r.rounds_to_almost, r.rounds_to_stable};
-}
-
-}  // namespace
+#include "sim/scenario.hpp"
 
 int main(int argc, char** argv) {
+  using namespace rechord;
   const util::Cli cli(argc, argv);
   auto cfg = bench::BenchConfig::from_cli(cli);
   if (!cli.has("sizes")) cfg.sizes = {8, 16, 32, 64, 128};
@@ -62,39 +29,25 @@ int main(int argc, char** argv) {
     util::OnlineStats join_integ, join_exact, leave_integ, leave_exact,
         crash_integ;
     for (std::size_t t = 0; t < cfg.trials; ++t) {
-      util::Rng rng(cfg.seed + 1000 * t + n);
-      // Joins.
-      {
-        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
-        for (std::size_t k = 0; k < ops_per_trial; ++k) {
-          const auto owners = engine.network().live_owners();
-          core::join(engine.network(), rng.next(),
-                     owners[rng.below(owners.size())]);
-          const auto r = resettle(engine);
-          join_integ.add(static_cast<double>(r.integration));
-          join_exact.add(static_cast<double>(r.exact));
-        }
-      }
-      // Graceful leaves.
-      {
-        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
-        for (std::size_t k = 0; k < ops_per_trial; ++k) {
-          const auto owners = engine.network().live_owners();
-          core::leave_gracefully(engine.network(),
-                                 owners[rng.below(owners.size())]);
-          const auto r = resettle(engine);
-          leave_integ.add(static_cast<double>(r.integration));
-          leave_exact.add(static_cast<double>(r.exact));
-        }
-      }
-      // Crash failures.
-      {
-        auto engine = stable_engine(n, cfg.seed + t, cfg.threads);
-        for (std::size_t k = 0; k < ops_per_trial; ++k) {
-          const auto owners = engine.network().live_owners();
-          core::crash(engine.network(), owners[rng.below(owners.size())]);
-          const auto r = resettle(engine);
-          crash_integ.add(static_cast<double>(r.integration));
+      sim::ScenarioParams params;
+      params.n = n;
+      params.seed = cfg.seed + 1000 * t + n;
+      params.ops = ops_per_trial;
+      params.engine.threads = cfg.threads;
+      const auto out =
+          sim::run_registered_scenario("join-leave-waves", params);
+      for (const auto& cp : out.checkpoints) {
+        if (!cp.passed) continue;  // a failed checkpoint would skew the mean
+        const auto integ = static_cast<double>(cp.rounds_almost);
+        const auto exact = static_cast<double>(cp.rounds);
+        if (cp.label == "join") {
+          join_integ.add(integ);
+          join_exact.add(exact);
+        } else if (cp.label == "leave") {
+          leave_integ.add(integ);
+          leave_exact.add(exact);
+        } else if (cp.label == "crash") {
+          crash_integ.add(integ);
         }
       }
     }
@@ -117,7 +70,7 @@ int main(int argc, char** argv) {
       "leftover unnecessary edges to drain, which the paper bounds separately\n"
       "by O(n log n). Expected shapes: join integ/(log2 n)^2 and leave\n"
       "integ/log2 n stay bounded as n grows -- polylog recovery, not linear.\n");
-  bench::emit_csv(cfg.csv_path,
+  bench::emit_csv(cli.csv_path(),
                   {"n", "join_integ", "join_exact", "leave_integ",
                    "leave_exact", "crash_integ"},
                   csv_rows);

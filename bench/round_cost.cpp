@@ -14,6 +14,10 @@
 //                      [--assert-speedup X]   (exit 1 if active-set is not
 //                                              at least X times faster than
 //                                              the full scan at every size)
+//
+// --csv OUT writes the steady-state table to OUT and the k-churn recovery
+// table to OUT with a `.churn` suffix inserted (foo.csv -> foo.churn.csv),
+// both through the shared util::Table::write_csv path.
 
 #include "common.hpp"
 #include "core/churn.hpp"
@@ -90,6 +94,28 @@ std::string fmt(double v, std::size_t digits = 5) {
   return std::to_string(v).substr(0, digits);
 }
 
+// foo.csv -> foo.churn.csv (suffix appended when the final path component
+// has no extension; dots in directory names are not extensions).
+std::string churn_csv_path(const std::string& path) {
+  const auto slash = path.rfind('/');
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return path + ".churn";
+  return path.substr(0, dot) + ".churn" + path.substr(dot);
+}
+
+void write_table_csv(const util::Table& table, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  table.write_csv(out);
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,7 +144,6 @@ int main(int argc, char** argv) {
   util::Table table({"n", "live nodes", "edges", "active ns/round",
                      "full ns/round", "legacy ns/round", "act/full",
                      "act/legacy", "edge-set MiB"});
-  std::vector<std::vector<double>> csv_rows;
   bool assert_ok = true;
   for (std::size_t n : sizes) {
     core::Network net = bench::stable_network(n, seed);
@@ -153,17 +178,9 @@ int main(int argc, char** argv) {
          std::to_string(static_cast<std::int64_t>(mf.ns_per_round)),
          std::to_string(static_cast<std::int64_t>(ml.ns_per_round)),
          fmt(su_full), fmt(su_legacy), fmt(mib, 6)});
-    csv_rows.push_back({static_cast<double>(n), static_cast<double>(nodes),
-                        static_cast<double>(edges), ma.ns_per_round,
-                        mf.ns_per_round, ml.ns_per_round, su_full, su_legacy,
-                        static_cast<double>(ma.edge_bytes)});
   }
   table.print(std::cout);
-  bench::emit_csv(cli.get("csv", ""),
-                  {"n", "live_nodes", "edges", "active_ns_per_round",
-                   "full_ns_per_round", "legacy_ns_per_round",
-                   "speedup_vs_full", "speedup_vs_legacy", "edge_set_bytes"},
-                  csv_rows);
+  write_table_csv(table, cli.csv_path());
 
   // -- recovery cost after crashing k peers ---------------------------------
   std::vector<std::size_t> churn_sizes;
@@ -200,6 +217,8 @@ int main(int argc, char** argv) {
       }
     }
     churn_table.print(std::cout);
+    if (!cli.csv_path().empty())
+      write_table_csv(churn_table, churn_csv_path(cli.csv_path()));
   }
 
   if (assert_speedup > 0.0) {

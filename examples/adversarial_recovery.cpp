@@ -2,67 +2,69 @@
 // states (sorted line, in-star, bridged clusters, fuzzed garbage state) and
 // watch self-stabilization repair each one -- then contrast with the classic
 // Chord maintenance protocol, which cannot recover from the same states.
+// Each row runs the registered `adversarial-recovery` scenario timeline
+// (recover -> mid-run scramble -> churn) with the row's initial topology.
 //
-//   ./adversarial_recovery [--n 24] [--seed 9]
+//   ./example_adversarial_recovery [--n 24] [--seed 9] [--threads T]
+//                                  [--full-scan]
 
 #include <cstdio>
 
 #include "chord/stabilizer.hpp"
-#include "core/convergence.hpp"
-#include "gen/topologies.hpp"
+#include "sim/scenario.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace rechord;
   const util::Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 24));
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+  sim::ScenarioParams params;
+  params.seed = 9;
+  params = sim::scenario_params_from_cli(cli, params);
+  const sim::ScenarioInfo* info = sim::find_scenario("adversarial-recovery");
+  const std::size_t n = info->build(params).n;  // resolved peer count
 
-  std::printf("Recovery from pathological initial states, n = %zu peers\n\n",
-              n);
-  std::printf("%-14s %10s %10s %12s %16s\n", "initial state", "re-chord",
-              "rounds", "exact spec", "classic chord");
+  std::printf("Recovery from pathological initial states, n = %zu peers\n", n);
+  std::printf("(each row: recover, then mid-run scramble + churn -- the "
+              "registered 'adversarial-recovery' timeline)\n\n");
+  std::printf("%-14s %10s %10s %12s %10s %16s\n", "initial state", "re-chord",
+              "rounds", "exact spec", "full run", "classic chord");
 
   int rechord_failures = 0;
   for (gen::Topology topo : gen::all_topologies()) {
-    util::Rng rng(seed);
+    sim::Scenario sc = info->build(params);
+    sc.topology = topo;
+    const auto out = sim::run_scenario(sc, params);
+    const auto& first = out.checkpoints.front();
+    rechord_failures += !out.ok;
+
+    // Classic Chord from the identical initial state.
+    util::Rng rng(params.seed);
     const auto ids = gen::random_ids(rng, n);
     const auto g = gen::make_topology(topo, n, rng);
-
-    // Re-Chord from this state.
-    core::Engine engine(gen::make_network(ids, g), {});
-    const auto spec = core::StableSpec::compute(engine.network());
-    core::RunOptions opt;
-    opt.max_rounds = 100000;
-    const auto result = core::run_to_stable(engine, spec, opt);
-    rechord_failures += !(result.stabilized && result.spec_exact);
-
-    // Classic Chord from the same state.
     chord::ChordStabilizer classic(ids, g);
     const auto classic_rounds = classic.run(5000);
 
-    std::printf("%-14s %10s %10llu %12s %16s\n", gen::topology_name(topo),
-                result.stabilized ? "recovered" : "STUCK",
-                static_cast<unsigned long long>(result.rounds_to_stable),
-                result.spec_exact ? "yes" : "NO",
+    std::printf("%-14s %10s %10llu %12s %10s %16s\n", gen::topology_name(topo),
+                first.reached ? "recovered" : "STUCK",
+                static_cast<unsigned long long>(first.rounds),
+                first.exact ? "yes" : "NO", out.ok ? "ok" : "FAILED",
                 classic_rounds < 5000 ? "recovered" : "never");
   }
 
-  // A fuzzed arbitrary state (wrong markings + garbage virtual nodes).
+  // A fuzzed arbitrary initial state (wrong markings + garbage virtuals).
   {
-    util::Rng rng(seed + 1);
-    auto net = gen::make_network(gen::Topology::kRandomConnected, n, rng);
-    gen::scramble_state(net, rng);
-    core::Engine engine(std::move(net), {});
-    const auto spec = core::StableSpec::compute(engine.network());
-    core::RunOptions opt;
-    opt.max_rounds = 100000;
-    const auto result = core::run_to_stable(engine, spec, opt);
-    rechord_failures += !(result.stabilized && result.spec_exact);
-    std::printf("%-14s %10s %10llu %12s %16s\n", "scrambled",
-                result.stabilized ? "recovered" : "STUCK",
-                static_cast<unsigned long long>(result.rounds_to_stable),
-                result.spec_exact ? "yes" : "NO", "n/a");
+    sim::ScenarioParams scrambled = params;
+    scrambled.seed = params.seed + 1;
+    sim::Scenario sc = info->build(scrambled);
+    sc.topology = gen::Topology::kRandomConnected;
+    sc.scramble_initial = true;
+    const auto out = sim::run_scenario(sc, scrambled);
+    const auto& first = out.checkpoints.front();
+    rechord_failures += !out.ok;
+    std::printf("%-14s %10s %10llu %12s %10s %16s\n", "scrambled",
+                first.reached ? "recovered" : "STUCK",
+                static_cast<unsigned long long>(first.rounds),
+                first.exact ? "yes" : "NO", out.ok ? "ok" : "FAILED", "n/a");
   }
 
   std::printf("\nRe-Chord recovered from %s state (Theorem 1.1); the classic\n"

@@ -1,87 +1,69 @@
 // Churn scenario: a live Re-Chord deployment absorbing joins, graceful
-// leaves and crash failures (paper §4). Demonstrates the public churn API
-// and reports per-operation recovery times against the Theorem 4.1/4.2
-// bounds.
+// leaves and crash failures (paper §4), driven by the registered
+// `churn-mix` timeline (sim/scenario.hpp) -- the overlay persists across
+// every operation and each op is run to the exact fixpoint. Reports
+// per-operation recovery times against the Theorem 4.1/4.2 bounds.
 //
-//   ./churn_scenario [--n 32] [--ops 12] [--seed 11] [--threads T]
-//                    [--full-scan]
+//   ./example_churn_scenario [--n 32] [--ops 12] [--seed 11] [--threads T]
+//                            [--full-scan] [--csv series.csv]
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
-#include "core/churn.hpp"
-#include "core/convergence.hpp"
-#include "gen/topologies.hpp"
+#include "sim/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rechord;
   const util::Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 32));
-  const auto ops = static_cast<int>(cli.get_int("ops", 12));
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 11)));
+  sim::ScenarioParams params;
+  params.seed = 11;
+  params.ops = 12;
+  params = sim::scenario_params_from_cli(cli, params);
+  const sim::Scenario sc = sim::find_scenario("churn-mix")->build(params);
+  const std::size_t n = sc.n;
 
-  std::printf("Bootstrapping a stable Re-Chord network of %zu peers...\n", n);
-  core::Engine engine(
-      gen::make_network(gen::Topology::kRandomConnected, n, rng),
-      core::engine_options_from_cli(cli));
-  {
-    const auto spec = core::StableSpec::compute(engine.network());
-    const auto r = core::run_to_stable(engine, spec, {});
-    std::printf("  stable after %llu rounds\n\n",
-                static_cast<unsigned long long>(r.rounds_to_stable));
-  }
-
-  std::printf("%-4s %-22s %8s %8s %8s %9s %9s %10s\n", "#", "operation",
-              "peers", "integ", "exact", "live p-r", "skip p-r", "ok");
-  int failures = 0;
-  for (int i = 0; i < ops; ++i) {
-    const auto owners = engine.network().live_owners();
-    const auto pick = owners[rng.below(owners.size())];
-    char what[64];
-    switch (rng.below(3)) {
-      case 0: {
-        const core::RingPos id = rng.next();
-        core::join(engine.network(), id, pick);
-        std::snprintf(what, sizeof(what), "join  id=%s",
-                      ident::pos_to_string(id).c_str());
-        break;
-      }
-      case 1:
-        if (owners.size() <= 3) { --i; continue; }
-        std::snprintf(what, sizeof(what), "leave peer@%s",
-                      ident::pos_to_string(engine.network().owner_pos(pick)).c_str());
-        core::leave_gracefully(engine.network(), pick);
-        break;
-      default:
-        if (owners.size() <= 3) { --i; continue; }
-        std::snprintf(what, sizeof(what), "crash peer@%s",
-                      ident::pos_to_string(engine.network().owner_pos(pick)).c_str());
-        core::crash(engine.network(), pick);
-        break;
+  std::printf("Bootstrapping a stable Re-Chord network of %zu peers, then "
+              "%zu churn ops...\n\n", n, params.ops);
+  std::ofstream csv_file;
+  std::ostream* csv = nullptr;
+  if (!cli.csv_path().empty()) {
+    csv_file.open(cli.csv_path());
+    if (csv_file) {
+      csv = &csv_file;
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s, skipping csv\n",
+                   cli.csv_path().c_str());
     }
-    engine.reset_change_tracking();
-    const auto spec = core::StableSpec::compute(engine.network());
-    const auto r = core::run_to_stable(engine, spec, {});
-    const bool ok = r.stabilized && r.spec_exact;
-    failures += !ok;
-    // live/skip peer-rounds: how much rule work the active-set scheduler
-    // actually ran for this recovery vs. how much it proved resting.
-    std::printf("%-4d %-22s %8u %8llu %8llu %9llu %9llu %10s\n", i + 1, what,
-                engine.network().alive_owner_count(),
-                static_cast<unsigned long long>(r.rounds_to_almost),
-                static_cast<unsigned long long>(r.rounds_to_stable),
-                static_cast<unsigned long long>(r.live_peer_rounds),
-                static_cast<unsigned long long>(r.skipped_peer_rounds),
-                ok ? "stable" : "FAILED");
   }
+  const auto out = sim::run_scenario(sc, params, csv);
+
+  util::Table table({"#", "operation", "peers", "integ", "exact", "live p-r",
+                     "skip p-r", "ok"});
+  int i = 0;
+  for (const auto& cp : out.checkpoints) {
+    if (cp.label == "bootstrap") {
+      std::printf("  stable after %llu rounds\n\n",
+                  static_cast<unsigned long long>(cp.rounds));
+      continue;
+    }
+    table.add_row({std::to_string(++i), cp.events, std::to_string(cp.peers),
+                   std::to_string(cp.rounds_almost), std::to_string(cp.rounds),
+                   std::to_string(cp.live_peer_rounds),
+                   std::to_string(cp.skipped_peer_rounds),
+                   cp.passed ? "stable" : "FAILED"});
+  }
+  table.print(std::cout);
 
   const double lg = std::log2(static_cast<double>(n));
   std::printf("\nTheorem 4.1/4.2 reference: O(log^2 n) = ~%.0f for joins, "
               "O(log n) = ~%.0f for leaves (integration rounds).\n", lg * lg,
               lg);
-  std::printf("%s\n", failures == 0 ? "All operations recovered to the exact "
-                                      "stable topology."
-                                    : "SOME OPERATIONS FAILED");
-  return failures == 0 ? 0 : 1;
+  std::printf("%s\n", out.ok ? "All operations recovered to the exact stable "
+                               "topology."
+                             : "SOME OPERATIONS FAILED");
+  return out.ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/churn.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/sorted_vec.hpp"
@@ -37,6 +38,28 @@ Engine::Engine(Network net, EngineOptions opt)
   if (opt_.legacy_fixpoint) opt_.full_scan = true;
 }
 
+std::uint32_t Engine::join_peer(RingPos id, std::uint32_t contact_owner) {
+  const std::uint32_t owner = join(net_, id, contact_owner);
+  if (partition_active_) {
+    // The newcomer can only talk to its contact, so it joins the contact's
+    // side of the cut; otherwise its bootstrap messages would all be dropped.
+    if (partition_group_.size() <= owner) partition_group_.resize(owner + 1, 0);
+    partition_group_[owner] = contact_owner < partition_group_.size()
+                                  ? partition_group_[contact_owner]
+                                  : 0;
+  }
+  return owner;
+}
+
+void Engine::leave_peer(std::uint32_t owner) { leave_gracefully(net_, owner); }
+
+void Engine::crash_peer(std::uint32_t owner) { crash(net_, owner); }
+
+void Engine::set_partition(std::vector<std::uint8_t> group_of_owner) {
+  partition_group_ = std::move(group_of_owner);
+  partition_active_ = true;
+}
+
 void Engine::ensure_scheduler_arrays() {
   const std::uint32_t n = net_.owner_count();
   if (cache_.size() < n) cache_.resize(n);
@@ -59,14 +82,58 @@ void Engine::rebuild_flow_indices() {
   // created or delivered carry no incremental registrations; before any
   // peer can go quiescent again the index must be rebuilt from ground
   // truth. O(edges + cached ops).
-  net_.rebuild_reader_index();
-  for (auto& v : op_senders_) v.clear();
+  // Bulk path throughout: flat pair collections sorted and distributed once
+  // instead of one sorted insert per entry (the mass-rebuild case touches
+  // every edge and cached op in the system, where scattered inserts used to
+  // dominate the whole round).
+  // Fault-free rounds deliver (or provably rest) every cached op, so at the
+  // round boundary the edge each cached op (re-)creates exists in its
+  // target's edge set and the reader pair it implies -- (payload owner read
+  // by target owner), owner-level like the commit's ghost re-homing -- is
+  // exactly the pair the edge scan below derives. The per-op collection is
+  // therefore only needed while a cached op's edge can go missing: message
+  // loss and partition cuts drop deliveries, and a peer sleeping through a
+  // round keeps its cache without re-sending, while the downstream holder
+  // may still have applied its removal.
+  const bool ops_covered_by_edges = opt_.message_loss <= 0.0 &&
+                                    opt_.sleep_probability <= 0.0 &&
+                                    !partition_active_;
+  op_reader_pairs_.clear();
+  op_sender_pairs_.clear();
   for (std::uint32_t o = 0; o < net_.owner_count(); ++o) {
-    const PeerCache& pcc = cache_[o];
+    PeerCache& pcc = cache_[o];
+    // New registration epoch: the per-peer memos restart empty; entries a
+    // later fresh recording re-references are re-registered (idempotently)
+    // once and re-memoized then.
+    pcc.reg_read_targets.clear();
+    pcc.reg_op_pairs.clear();
+    pcc.reg_op_senders.clear();
     if (!pcc.valid || !net_.owner_alive(o)) continue;
-    for (const DelayedOp& op : pcc.ops)
-      net_.note_reader(owner_of(op.payload), owner_of(op.target));
-    for (std::uint32_t d : pcc.op_owners) note_op_sender(d, o);
+    if (!ops_covered_by_edges)
+      for (const DelayedOp& op : pcc.ops) {
+        const std::uint32_t to = owner_of(op.target),
+                            po = owner_of(op.payload);
+        if (to != po)
+          op_reader_pairs_.push_back((static_cast<std::uint64_t>(po) << 32) |
+                                     to);
+      }
+    for (std::uint32_t d : pcc.op_owners)
+      if (d != o)
+        op_sender_pairs_.push_back((static_cast<std::uint64_t>(d) << 32) | o);
+  }
+  net_.rebuild_reader_index(op_reader_pairs_);
+  // Counting scatter for the op-sender index. The collection above walks
+  // owners in ascending order with sorted-unique op_owners per cache, so for
+  // a fixed referenced owner the senders arrive already sorted and unique --
+  // no per-bucket post-processing needed.
+  const std::uint32_t n = net_.owner_count();
+  util::bucket_by_key(op_sender_pairs_, n, sender_counts_, sender_cursor_,
+                      sender_scatter_);
+  for (std::uint32_t d = 0; d < n; ++d) {
+    auto& out = op_senders_[d];
+    out.clear();
+    out.assign(sender_scatter_.begin() + sender_counts_[d],
+               sender_scatter_.begin() + sender_counts_[d + 1]);
   }
 }
 
@@ -104,17 +171,31 @@ void Engine::compute_skip_set() {
     ++live;
     if (wake_[o]) ++woken;
   }
-  // Hysteresis: entering storm mode takes a woken majority, leaving it
-  // takes the storm dying down to a quarter -- otherwise a long recovery
-  // oscillates between bare rounds and mass re-recording rounds that the
-  // next storm round immediately invalidates again.
+  // Hysteresis: entering storm mode takes 7/8 of the live peers woken,
+  // leaving it takes the storm dying down to a quarter -- otherwise a long
+  // recovery oscillates between bare rounds and mass re-recording rounds
+  // that the next storm round immediately invalidates again. The entry bar
+  // is deliberately high: a storm round invalidates EVERY live runner's
+  // cache, so leaving it costs one all-live re-record round plus a
+  // ground-truth index rebuild -- worth it at bring-up (everyone genuinely
+  // woken, many storm rounds follow) but a net loss for mid-size churn
+  // bursts, where the out-of-band wake fan-out (crash normalize dirt plus
+  // readers) inflates the first-round wake count far beyond the genuinely
+  // perturbed region and most woken peers reproduce their cached output
+  // verbatim at a fraction of a bare re-run's cost.
   const bool was_bulk = bulk_round_;
   bulk_round_ = !opt_.paranoid_replay &&
-                (2 * woken > live || (bulk_round_ && 4 * woken > live));
+                (8 * woken > 7 * live || (bulk_round_ && 4 * woken > live));
   // Leaving a storm: the bare rounds created and delivered edges with no
-  // incremental index registrations, so rebuild before this round's
-  // replays/skips (and their future wakes) depend on the index again.
-  if (was_bulk && !bulk_round_) rebuild_flow_indices();
+  // incremental index registrations, so the indices must be rebuilt from
+  // ground truth before any of this round's fresh recordings can be trusted
+  // for future wakes. The rebuild is deferred to the end of the round (after
+  // commit, before apply_wakes) -- during the round itself the stale index
+  // is sound: it is append-only since every surviving (replayable) cache was
+  // recorded, so no entry a valid cache depends on is missing, and extra
+  // entries only over-wake / over-evict. Deferring lets the mass
+  // re-recording round skip incremental registration entirely.
+  if (was_bulk && !bulk_round_) mass_reg_pending_ = true;
   if (!skip_possible()) return;
   for (std::uint32_t o = 0; o < n; ++o)
     skip_[o] = net_.owner_alive(o) && cache_[o].valid && !wake_[o] ? 1 : 0;
@@ -403,12 +484,13 @@ RoundMetrics Engine::step() {
     net_.rebuild_change_baseline();
     baseline_ready_ = true;
     if (active) {
-      // Fresh scheduler epoch: everyone runs live against rebuilt indices
-      // (the all-live round that follows may reproduce its old output
-      // verbatim and skip re-registration, so the rebuild must already
-      // include the surviving caches' op entries).
+      // Fresh scheduler epoch: everyone runs live, and instead of paying a
+      // pre-round rebuild plus per-entry registration for ~every peer, the
+      // indices are rebuilt once from ground truth at the end of the round
+      // (mass_reg_pending_). Until then the stale index is sound for the
+      // same append-only reason as at a storm exit.
       ensure_scheduler_arrays();
-      rebuild_flow_indices();
+      mass_reg_pending_ = true;
       std::fill(wake_.begin(), wake_.end(), 1);
       oob_owners_.clear();
     }
@@ -435,7 +517,7 @@ RoundMetrics Engine::step() {
   for (std::size_t v : shard_replayed_) replayed_peers += v;
   for (std::size_t v : shard_skipped_) skipped_peers += v;
   for (std::uint64_t v : shard_mismatch_) replay_mismatches_ += v;
-  if (active) {
+  if (active && !mass_reg_pending_) {
     // Reader and op-sender entries for this round's live runs, derived
     // single-threaded from the recorded deltas and cached ops. Ops are
     // registered here, at cache time, rather than per delivery at commit:
@@ -444,16 +526,30 @@ RoundMetrics Engine::step() {
     // one registration covers every future delivery, and the reader index
     // is an over-approximation, so registering an op that commit later
     // drops is harmless. Replayed deltas re-create edges whose entries
-    // already exist.
+    // already exist. Mass-registration rounds skip this entirely in favor
+    // of the post-commit ground-truth rebuild below.
+    // Each entry is registered at most once per index epoch: the per-cache
+    // memo vectors remember what this peer already pushed, so a peer that
+    // stays woken through a multi-round recovery pays the (shared, larger)
+    // index inserts only for dependencies it has not referenced before.
     for (const auto& live : shard_live_)
       for (std::uint32_t o : live) {
-        if (!cache_[o].notes_fresh) continue;  // identical output: all known
-        for (const LocalEdit& e : cache_[o].delta)
-          if (e.op == LocalEdit::Op::kAddEdge && owner_of(e.target) != o)
+        PeerCache& pc = cache_[o];
+        if (!pc.notes_fresh) continue;  // identical output: all known
+        for (const LocalEdit& e : pc.delta)
+          if (e.op == LocalEdit::Op::kAddEdge && owner_of(e.target) != o &&
+              util::insert_sorted_unique(pc.reg_read_targets,
+                                         owner_of(e.target)))
             net_.note_reader(owner_of(e.target), o);
-        for (const DelayedOp& op : cache_[o].ops)
-          net_.note_reader(owner_of(op.payload), owner_of(op.target));
-        for (std::uint32_t d : cache_[o].op_owners) note_op_sender(d, o);
+        for (const DelayedOp& op : pc.ops)
+          if (util::insert_sorted_unique(
+                  pc.reg_op_pairs,
+                  (static_cast<std::uint64_t>(owner_of(op.target)) << 32) |
+                      owner_of(op.payload)))
+            net_.note_reader(owner_of(op.payload), owner_of(op.target));
+        for (std::uint32_t d : pc.op_owners)
+          if (util::insert_sorted_unique(pc.reg_op_senders, d))
+            note_op_sender(d, o);
       }
   }
 
@@ -478,6 +574,10 @@ RoundMetrics Engine::step() {
   };
   if (opt_.message_loss <= 0.0 && !opt_.legacy_fixpoint) {
     for (const DelayedOp& op : ops_) {
+      if (partition_active_ && partition_cut(op.target, op.payload)) {
+        ++partition_dropped_;
+        continue;
+      }
       const Slot target = resolve(op.target);
       const Slot payload = resolve(op.payload);
       if (target == kInvalidSlot || payload == kInvalidSlot) continue;
@@ -488,6 +588,10 @@ RoundMetrics Engine::step() {
     ops_.erase(std::unique(ops_.begin(), ops_.end()), ops_.end());
     resolved_.clear();
     for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (partition_active_ && partition_cut(ops_[i].target, ops_[i].payload)) {
+        ++partition_dropped_;
+        continue;
+      }
       if (opt_.message_loss > 0.0 &&
           fault_coin(opt_.fault_seed ^ 0xD70Full, round_, i,
                      opt_.message_loss)) {
@@ -541,6 +645,15 @@ RoundMetrics Engine::step() {
       }
     }
   net_.normalize();
+  // Deferred mass registration: one exact rebuild over the post-commit edge
+  // sets plus the surviving caches' ops replaces the per-entry registration
+  // of an (almost) all-live round. Must run before apply_wakes() below reads
+  // the reader index. Kept pending through storm rounds (which record no
+  // caches) until the first round that does record.
+  if (active && mass_reg_pending_ && !bulk_round_) {
+    rebuild_flow_indices();
+    mass_reg_pending_ = false;
+  }
   ++round_;
 
   RoundMetrics mt = measure();
@@ -561,6 +674,7 @@ RoundMetrics Engine::step() {
   } else {
     mt.changed = net_.consume_round_changes();
   }
+  if (observer_) observer_(mt);
   return mt;
 }
 

@@ -35,6 +35,7 @@
 // tests/test_scheduler.cpp asserts.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -156,6 +157,62 @@ class Engine {
     baseline_ready_ = false;
   }
 
+  // -- mid-run scenario hooks (timeline engine, DESIGN.md §7) ---------------
+  //
+  // Membership and fault events may be applied between rounds on a live,
+  // persistent engine -- no reset_change_tracking, no scheduler epoch reset.
+  // The membership hooks mutate the network out-of-band; the engine's
+  // pre-round dirty scan (wake_out_of_band) wakes the touched peers and their
+  // readers and registers index entries for edges created by the event, so
+  // the active-set scheduler re-engages around the perturbation instead of
+  // restarting from an all-live epoch.
+
+  /// Joins a new peer through `contact_owner` (core::join); returns the new
+  /// owner id. Under an active partition the newcomer inherits the contact's
+  /// side of the cut.
+  std::uint32_t join_peer(RingPos id, std::uint32_t contact_owner);
+  /// Graceful departure (core::leave_gracefully).
+  void leave_peer(std::uint32_t owner);
+  /// Crash failure (core::crash).
+  void crash_peer(std::uint32_t owner);
+
+  /// Fault windows: adjust the fault-injection knobs mid-run (scenario
+  /// loss/asynchrony windows). Takes effect from the next step(); while a
+  /// fault probability is nonzero the resting-chain skip is disabled, exactly
+  /// as if the engine had been constructed with the value.
+  void set_message_loss(double p) noexcept { opt_.message_loss = p; }
+  void set_sleep_probability(double p) noexcept { opt_.sleep_probability = p; }
+
+  /// Begins a partition window: a delayed assignment whose target owner and
+  /// payload owner sit on different sides of the cut is dropped at commit
+  /// (the sender cannot reach across). `group_of_owner[o]` is owner o's side;
+  /// owners beyond the vector (e.g. peers that join later without a contact)
+  /// default to side 0. Existing edges are untouched -- only message delivery
+  /// is cut, matching the engine's message-level fault model.
+  void set_partition(std::vector<std::uint8_t> group_of_owner);
+  /// Ends the partition window.
+  void clear_partition() noexcept {
+    partition_active_ = false;
+    partition_group_.clear();
+  }
+  [[nodiscard]] bool partition_active() const noexcept {
+    return partition_active_;
+  }
+  /// Delayed assignments dropped at the partition cut so far.
+  [[nodiscard]] std::uint64_t partition_dropped() const noexcept {
+    return partition_dropped_;
+  }
+
+  /// Per-round metrics observer, invoked at the end of every step() with the
+  /// round's metrics -- regardless of which driver (scenario runner,
+  /// run_to_stable, a bench loop) issues the steps. One observer at a time;
+  /// pass nullptr to detach.
+  void set_round_observer(std::function<void(const RoundMetrics&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opt_; }
+
   /// Rule actions fired in the most recent round (see RuleActivity).
   [[nodiscard]] const RuleActivity& last_activity() const noexcept {
     return activity_;
@@ -191,13 +248,27 @@ class Engine {
     /// recovery -- skips the registration, whose entries already exist.
     bool notes_fresh = true;
     RuleActivity activity;
+    /// Index entries already pushed for this peer in the current index epoch
+    /// (since the last rebuild_flow_indices). The reader/op-sender indices
+    /// are append-only over-approximations, so each entry needs registering
+    /// at most once per epoch -- a peer that stays woken through a long
+    /// recovery re-records its cache every round but only pays the index
+    /// inserts for genuinely new dependencies. Cleared at an epoch rebuild
+    /// (whose ground-truth derivation re-covers the surviving entries).
+    std::vector<std::uint32_t> reg_read_targets;  // note_reader(t, self)
+    std::vector<std::uint64_t> reg_op_pairs;  // (target_owner<<32)|payload
+    std::vector<std::uint32_t> reg_op_senders;  // note_op_sender(d, self)
   };
 
   Network net_;
   EngineOptions opt_;
   std::uint64_t round_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t partition_dropped_ = 0;
   std::uint64_t replay_mismatches_ = 0;
+  bool partition_active_ = false;
+  std::vector<std::uint8_t> partition_group_;  // per owner; absent = side 0
+  std::function<void(const RoundMetrics&)> observer_;
   RuleActivity activity_;
   std::vector<std::uint64_t> prev_state_;  // legacy_fixpoint only
   bool baseline_ready_ = false;            // incremental-tracking baseline
@@ -222,6 +293,10 @@ class Engine {
   // reverse of PeerCache::op_owners). Append-only over-approximation like
   // the network's reader index; rebuilt from scratch at an epoch reset.
   std::vector<std::vector<std::uint32_t>> op_senders_;
+  std::vector<std::uint64_t> op_reader_pairs_;  // rebuild_flow_indices scratch
+  std::vector<std::uint64_t> op_sender_pairs_;  // ditto
+  std::vector<std::size_t> sender_counts_, sender_cursor_;  // ditto
+  std::vector<std::uint32_t> sender_scatter_;               // ditto
   std::vector<std::uint32_t> evict_stack_;  // skip-closure worklist
   /// Storm mode, re-decided every round: when a majority of live peers is
   /// digest-woken (mass churn / early convergence), recording caches and
@@ -229,6 +304,14 @@ class Engine {
   /// runs execute bare -- like a full-scan round -- and invalidate their
   /// caches; the first calm round re-records them and skip re-engages.
   bool bulk_round_ = false;
+  /// Mass-registration rounds (the all-live round after an epoch reset, the
+  /// re-recording round after a storm): nearly every peer records a fresh
+  /// cache, so per-entry incremental index registration would walk ~every
+  /// delta and op in the system through scattered sorted inserts. Instead
+  /// the round skips incremental registration entirely and the indices are
+  /// rebuilt once from ground truth after commit -- before apply_wakes
+  /// needs them -- at O(edges + cached ops) total.
+  bool mass_reg_pending_ = false;
   std::vector<PeerCache> paranoid_prev_;  // per shard scratch
   std::vector<std::vector<std::uint32_t>> shard_live_;  // owners run live
   std::vector<std::vector<std::uint32_t>> shard_ran_;   // live or replayed
@@ -239,11 +322,21 @@ class Engine {
 
   [[nodiscard]] bool active_mode() const noexcept { return !opt_.full_scan; }
   /// Skipping requires rounds to be repeatable: the per-round fault coins
-  /// (activation, loss) and the paranoid cross-check all force every
-  /// quiescent peer through the replay path instead.
+  /// (activation, loss), an active partition cut and the paranoid
+  /// cross-check all force every quiescent peer through the replay path
+  /// instead.
   [[nodiscard]] bool skip_possible() const noexcept {
     return active_mode() && opt_.sleep_probability <= 0.0 &&
-           opt_.message_loss <= 0.0 && !opt_.paranoid_replay;
+           opt_.message_loss <= 0.0 && !partition_active_ &&
+           !opt_.paranoid_replay;
+  }
+  /// True when the active partition separates the two slots' owners.
+  [[nodiscard]] bool partition_cut(Slot a, Slot b) const noexcept {
+    const std::uint32_t oa = owner_of(a), ob = owner_of(b);
+    const auto side = [this](std::uint32_t o) -> std::uint8_t {
+      return o < partition_group_.size() ? partition_group_[o] : 0;
+    };
+    return side(oa) != side(ob);
   }
   void run_peers();
   void run_range(std::size_t begin, std::size_t end,

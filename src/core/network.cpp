@@ -322,12 +322,35 @@ void Network::note_reader(std::uint32_t target_owner,
   util::insert_sorted_unique(readers_[target_owner], reader_owner);
 }
 
-void Network::rebuild_reader_index() {
-  for (auto& v : readers_) v.clear();
+void Network::rebuild_reader_index(std::span<const std::uint64_t> extra_pairs) {
+  // Flat collect -> sort -> unique -> distribute. Entries keep note_reader's
+  // semantics: one (target_owner, reader_owner) pair per edge (any kind, live
+  // or not), self-pairs excluded.
+  auto& pairs = reader_pairs_buf_;
+  pairs.assign(extra_pairs.begin(), extra_pairs.end());
   for (Slot s = 0; s < slot_count(); ++s) {
     const std::uint32_t o = owner_of(s);
     for (const auto& per_kind : sets_)
-      for (Slot t : per_kind[s]) note_reader(owner_of(t), o);
+      for (Slot t : per_kind[s]) {
+        const std::uint32_t to = owner_of(t);
+        if (to != o)
+          pairs.push_back((static_cast<std::uint64_t>(to) << 32) | o);
+      }
+  }
+  // Counting-sort scatter on the target owner, then sort + unique each
+  // per-target bucket (mean bucket size is the in-degree, a few hundred at
+  // most) -- much cheaper than one comparison sort over every edge in the
+  // system.
+  const std::uint32_t n = owner_count();
+  util::bucket_by_key(pairs, n, reader_counts_buf_, reader_cursor_buf_,
+                      reader_scatter_buf_);
+  for (std::uint32_t o = 0; o < n; ++o) {
+    auto& out = readers_[o];
+    out.clear();
+    const auto begin = reader_scatter_buf_.begin() + reader_counts_buf_[o];
+    const auto end = reader_scatter_buf_.begin() + reader_counts_buf_[o + 1];
+    std::sort(begin, end);
+    out.assign(begin, std::unique(begin, end));
   }
 }
 

@@ -1,0 +1,141 @@
+#pragma once
+// Declarative scenario events (DESIGN.md §7). A Scenario is a seeded timeline
+// of these events applied in order to ONE persistent Engine run -- membership
+// bursts, Poisson churn, fault and partition windows, state scrambles,
+// convergence checkpoints and interleaved DHT workload phases. Events carry
+// no owner ids or rng state of their own: victims, contacts and identifiers
+// are drawn at application time from the scenario's single rng stream, so a
+// timeline is deterministic in (scenario, params) and -- because no draw
+// depends on engine internals -- identical under the active-set scheduler,
+// the flag-gated full scan, and any thread count (tests/test_scenario.cpp
+// asserts bit-equal state fingerprints across all four).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace rechord::sim {
+
+// -- instantaneous membership events ----------------------------------------
+
+/// `count` new peers join in the same round, each through a uniformly random
+/// live contact (a flash crowd when count is large: the whole burst lands
+/// before the next round runs).
+struct JoinBurst {
+  std::size_t count = 1;
+};
+
+/// `count` uniformly random peers depart gracefully (paper §4 leave). Stops
+/// early if the network would drop to 3 peers.
+struct LeaveBurst {
+  std::size_t count = 1;
+};
+
+/// `count` uniformly random peers crash (no notification). Stops early if
+/// the network would drop to 3 peers.
+struct CrashBurst {
+  std::size_t count = 1;
+};
+
+/// `ops` membership operations, each drawn uniformly from
+/// {join, graceful leave, crash} -- the mix the churn example drives.
+struct MixedChurn {
+  std::size_t ops = 1;
+};
+
+/// Background churn: for `rounds` rounds, draw k ~ Poisson(events_per_round)
+/// mixed membership ops, apply them, then run the round -- churn arriving
+/// WHILE the protocol is healing, not between convergence phases.
+struct PoissonChurn {
+  double events_per_round = 0.5;
+  std::uint64_t rounds = 20;
+};
+
+/// Fuzzes the current state (random re-markings + garbage virtual nodes) in
+/// place -- the adversarial mid-run state corruption Theorem 1.1 must absorb.
+struct Scramble {};
+
+// -- fault and partition windows --------------------------------------------
+
+/// Sets the engine's message-loss probability from the next round on
+/// (probability 0 closes the window).
+struct SetMessageLoss {
+  double probability = 0.0;
+};
+
+/// Sets the per-peer sleep (partial activation) probability from the next
+/// round on (0 closes the window).
+struct SetSleep {
+  double probability = 0.0;
+};
+
+/// Splits the live peers into two sides, assigning each peer to side 1 with
+/// probability `fraction`; messages across the cut are dropped at commit
+/// until PartitionEnd. Peers joining during the window inherit their
+/// contact's side.
+struct PartitionBegin {
+  double fraction = 0.5;
+};
+
+struct PartitionEnd {};
+
+// -- segments ---------------------------------------------------------------
+
+/// Runs exactly `rounds` rounds (fixpoint or not) -- the spacing primitive
+/// used to interleave probes with healing.
+struct RunRounds {
+  std::uint64_t rounds = 1;
+};
+
+/// Runs until the exact fixpoint (cap `max_rounds`), recording a
+/// CheckpointResult. The scenario FAILS if the cap is hit, or -- when
+/// `require_exact` -- if the fixpoint differs from the StableSpec of the
+/// current peer set.
+struct Checkpoint {
+  std::string label = "checkpoint";
+  std::uint64_t max_rounds = 100000;
+  bool require_exact = true;
+};
+
+/// Runs until the "almost stable" predicate of the current peer set holds
+/// (every desired edge present), recording a CheckpointResult with
+/// require_exact semantics off -- the convergence measure that stays
+/// meaningful under fault injection, where exact-fixpoint detection can fire
+/// spuriously.
+struct AwaitAlmost {
+  std::string label = "almost";
+  std::uint64_t max_rounds = 4000;
+};
+
+// -- DHT workload phases ----------------------------------------------------
+
+/// Stores `keys` fresh objects onto the overlay through the dht::KvStore
+/// (replication from ScenarioParams), routing each put from a random live
+/// peer over the CURRENT (possibly still-healing) overlay. Put failures are
+/// counted as workload stalls.
+struct KvLoad {
+  std::size_t keys = 64;
+};
+
+/// Issues `lookups` gets for previously loaded keys from random live peers
+/// over the current overlay, classifying each miss as stale routing (a live
+/// copy exists but was not reached) or a lost record (no live copy
+/// remains), and recording a probe CSV row.
+struct KvProbe {
+  std::size_t lookups = 64;
+};
+
+/// Re-replicates / migrates every record to the current responsible peers
+/// (Chord's key migration after churn).
+struct KvRebalance {};
+
+using Event =
+    std::variant<JoinBurst, LeaveBurst, CrashBurst, MixedChurn, PoissonChurn,
+                 Scramble, SetMessageLoss, SetSleep, PartitionBegin,
+                 PartitionEnd, RunRounds, Checkpoint, AwaitAlmost, KvLoad,
+                 KvProbe, KvRebalance>;
+
+/// Short kind name for logs and the per-round CSV ("join-burst", ...).
+[[nodiscard]] const char* event_name(const Event& e);
+
+}  // namespace rechord::sim

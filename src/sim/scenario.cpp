@@ -1,0 +1,554 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "core/spec.hpp"
+#include "dht/kv_store.hpp"
+#include "ident/ring_pos.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace rechord::sim {
+
+ScenarioParams scenario_params_from_cli(const util::Cli& cli,
+                                        ScenarioParams base) {
+  base.n = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, cli.get_int("n", static_cast<std::int64_t>(base.n))));
+  base.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(base.seed)));
+  base.ops = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, cli.get_int("ops", static_cast<std::int64_t>(base.ops))));
+  base.intensity = cli.get_double("intensity", base.intensity);
+  base.replicas = static_cast<unsigned>(std::max<std::int64_t>(
+      1, cli.get_int("replicas", static_cast<std::int64_t>(base.replicas))));
+  base.engine = core::engine_options_from_cli(cli, base.engine);
+  return base;
+}
+
+namespace {
+
+/// Executes one scenario timeline against a persistent engine. All
+/// randomness flows through the single `rng_` stream and no draw depends on
+/// engine internals, so the event schedule -- and therefore the network's
+/// state evolution -- is identical under every scheduler mode and thread
+/// count (the determinism contract of DESIGN.md §7).
+class ScenarioRunner {
+ public:
+  ScenarioRunner(const Scenario& sc, const ScenarioParams& params,
+                 std::ostream* csv)
+      : scenario_(sc),
+        rng_(params.seed),
+        engine_(make_initial(sc, rng_), params.engine),
+        kv_({.replicas = params.replicas}) {
+    out_.name = sc.name;
+    out_.n = sc.n;
+    if (csv) {
+      csv_.emplace(*csv);
+      csv_->header({"record", "event", "round", "real_nodes", "virtual_nodes",
+                    "unmarked_edges", "ring_edges", "connection_edges",
+                    "active", "replayed", "skipped", "changed", "lookups",
+                    "found", "stale", "lost", "checkpoint_rounds",
+                    "checkpoint_passed"});
+    }
+    engine_.set_round_observer([this](const core::RoundMetrics& mt) {
+      out_.live_peer_rounds += mt.active_peers;
+      out_.replayed_peer_rounds += mt.replayed_peers;
+      out_.skipped_peer_rounds += mt.skipped_peers;
+      last_metrics_ = mt;
+      if (!csv_) return;
+      csv_->row();
+      csv_->cell("round").cell(current_event_).cell(mt.round);
+      csv_->cell(static_cast<std::uint64_t>(mt.real_nodes));
+      csv_->cell(static_cast<std::uint64_t>(mt.virtual_nodes));
+      csv_->cell(static_cast<std::uint64_t>(mt.unmarked_edges));
+      csv_->cell(static_cast<std::uint64_t>(mt.ring_edges));
+      csv_->cell(static_cast<std::uint64_t>(mt.connection_edges));
+      csv_->cell(static_cast<std::uint64_t>(mt.active_peers));
+      csv_->cell(static_cast<std::uint64_t>(mt.replayed_peers));
+      csv_->cell(static_cast<std::uint64_t>(mt.skipped_peers));
+      csv_->cell(std::int64_t{mt.changed ? 1 : 0});
+      for (int i = 0; i < 6; ++i) csv_->cell("");
+    });
+  }
+
+  ScenarioOutcome run() {
+    out_.ok = true;
+    for (const Event& event : scenario_.timeline) {
+      current_event_ = event_name(event);
+      std::visit([this](const auto& e) { apply(e); }, event);
+    }
+    current_event_ = "";
+    out_.total_rounds = engine_.rounds_executed();
+    out_.final_fingerprint = engine_.network().state_fingerprint();
+    out_.final_metrics = last_metrics_;
+    out_.messages_dropped = engine_.messages_dropped();
+    out_.partition_dropped = engine_.partition_dropped();
+    engine_.set_round_observer(nullptr);
+    return std::move(out_);
+  }
+
+ private:
+  static core::Network make_initial(const Scenario& sc, util::Rng& rng) {
+    core::Network net = gen::make_network(sc.topology, sc.n, rng);
+    if (sc.scramble_initial) gen::scramble_state(net, rng);
+    return net;
+  }
+
+  [[nodiscard]] bool kv_active() const { return !keys_.empty(); }
+
+  void note_event(std::string text) {
+    if (!pending_events_.empty()) pending_events_ += ", ";
+    pending_events_ += std::move(text);
+  }
+
+  // One membership op drawn uniformly from {join, leave, crash}; retries
+  // (with fresh draws) when a departure would shrink the network below 4
+  // peers. Draw protocol (contact/victim, then kind, then join id) matches
+  // the pre-refactor churn example so ported scenarios reproduce its
+  // schedules bit for bit.
+  void mixed_op() {
+    for (;;) {
+      const auto owners = engine_.network().live_owners();
+      const std::uint32_t pick = owners[rng_.below(owners.size())];
+      switch (rng_.below(3)) {
+        case 0: {
+          const core::RingPos id = rng_.next();
+          do_join(id, pick);
+          return;
+        }
+        case 1:
+          if (owners.size() <= 3) continue;
+          do_leave(pick);
+          return;
+        default:
+          if (owners.size() <= 3) continue;
+          do_crash(pick);
+          return;
+      }
+    }
+  }
+
+  void do_join(core::RingPos id, std::uint32_t contact) {
+    engine_.join_peer(id, contact);
+    note_event("join id=" + ident::pos_to_string(id));
+  }
+
+  void do_leave(std::uint32_t owner) {
+    if (kv_active()) {
+      const auto view = dht::RoutingView::snapshot(engine_.network());
+      kv_.handoff(view, owner);
+    }
+    note_event("leave@" +
+               ident::pos_to_string(engine_.network().owner_pos(owner)));
+    engine_.leave_peer(owner);
+  }
+
+  void do_crash(std::uint32_t owner) {
+    kv_.drop(owner);
+    note_event("crash@" +
+               ident::pos_to_string(engine_.network().owner_pos(owner)));
+    engine_.crash_peer(owner);
+  }
+
+  // -- event applications ----------------------------------------------------
+
+  void apply(const JoinBurst& e) {
+    for (std::size_t i = 0; i < e.count; ++i) {
+      const auto owners = engine_.network().live_owners();
+      do_join(rng_.next(), owners[rng_.below(owners.size())]);
+    }
+  }
+
+  void apply(const LeaveBurst& e) {
+    for (std::size_t i = 0; i < e.count; ++i) {
+      const auto owners = engine_.network().live_owners();
+      if (owners.size() <= 3) break;
+      do_leave(owners[rng_.below(owners.size())]);
+    }
+  }
+
+  void apply(const CrashBurst& e) {
+    for (std::size_t i = 0; i < e.count; ++i) {
+      const auto owners = engine_.network().live_owners();
+      if (owners.size() <= 3) break;
+      do_crash(owners[rng_.below(owners.size())]);
+    }
+  }
+
+  void apply(const MixedChurn& e) {
+    for (std::size_t i = 0; i < e.ops; ++i) mixed_op();
+  }
+
+  void apply(const PoissonChurn& e) {
+    for (std::uint64_t r = 0; r < e.rounds; ++r) {
+      for (std::size_t k = poisson(e.events_per_round); k > 0; --k)
+        mixed_op();
+      engine_.step();
+    }
+    note_event("poisson x" + std::to_string(e.rounds));
+  }
+
+  void apply(const Scramble&) {
+    gen::scramble_state(engine_.network(), rng_);
+    note_event("scramble");
+  }
+
+  void apply(const SetMessageLoss& e) {
+    engine_.set_message_loss(e.probability);
+  }
+
+  void apply(const SetSleep& e) { engine_.set_sleep_probability(e.probability); }
+
+  void apply(const PartitionBegin& e) {
+    std::vector<std::uint8_t> group(engine_.network().owner_count(), 0);
+    for (std::uint32_t o = 0; o < group.size(); ++o)
+      if (engine_.network().owner_alive(o))
+        group[o] = rng_.chance(e.fraction) ? 1 : 0;
+    engine_.set_partition(std::move(group));
+    note_event("partition");
+  }
+
+  void apply(const PartitionEnd&) {
+    engine_.clear_partition();
+    note_event("heal");
+  }
+
+  void apply(const RunRounds& e) {
+    for (std::uint64_t r = 0; r < e.rounds; ++r) engine_.step();
+  }
+
+  void apply(const Checkpoint& e) {
+    const auto spec = core::StableSpec::compute(engine_.network());
+    core::RunOptions opt;
+    opt.max_rounds = e.max_rounds;
+    const auto r = core::run_to_stable(engine_, spec, opt);
+    CheckpointResult cp;
+    cp.label = e.label;
+    cp.rounds = r.rounds_to_stable;
+    cp.rounds_almost = r.rounds_to_almost;
+    cp.reached = r.stabilized;
+    cp.exact = r.spec_exact;
+    cp.passed = r.stabilized && (!e.require_exact || r.spec_exact);
+    cp.live_peer_rounds = r.live_peer_rounds;
+    cp.replayed_peer_rounds = r.replayed_peer_rounds;
+    cp.skipped_peer_rounds = r.skipped_peer_rounds;
+    finish_checkpoint(std::move(cp));
+  }
+
+  void apply(const AwaitAlmost& e) {
+    const auto spec = core::StableSpec::compute(engine_.network());
+    CheckpointResult cp;
+    cp.label = e.label;
+    for (std::uint64_t r = 1; r <= e.max_rounds; ++r) {
+      const auto mt = engine_.step();
+      cp.live_peer_rounds += mt.active_peers;
+      cp.replayed_peer_rounds += mt.replayed_peers;
+      cp.skipped_peer_rounds += mt.skipped_peers;
+      if (spec.almost_stable(engine_.network())) {
+        cp.reached = true;
+        cp.rounds = cp.rounds_almost = r;
+        break;
+      }
+    }
+    cp.exact = spec.exact_match(engine_.network());
+    cp.passed = cp.reached;
+    finish_checkpoint(std::move(cp));
+  }
+
+  void finish_checkpoint(CheckpointResult cp) {
+    cp.events = std::move(pending_events_);
+    pending_events_.clear();
+    cp.at_round = engine_.rounds_executed();
+    cp.fingerprint = engine_.network().state_fingerprint();
+    cp.peers = engine_.network().alive_owner_count();
+    out_.ok = out_.ok && cp.passed;
+    if (csv_) {
+      csv_->row();
+      csv_->cell("checkpoint").cell(cp.label).cell(cp.at_round);
+      for (int i = 0; i < 13; ++i) csv_->cell("");
+      csv_->cell(cp.rounds);
+      csv_->cell(std::int64_t{cp.passed ? 1 : 0});
+    }
+    out_.checkpoints.push_back(std::move(cp));
+  }
+
+  void apply(const KvLoad& e) {
+    const auto view = dht::RoutingView::snapshot(engine_.network());
+    for (std::size_t i = 0; i < e.keys; ++i) {
+      const std::string key = "obj-" + std::to_string(keys_.size());
+      const std::uint32_t from =
+          view.proj.owners[rng_.below(view.peer_count())];
+      const auto put = kv_.put(view, key, "value-" + key, from);
+      ++out_.workload.puts;
+      if (!put.ok)
+        ++out_.workload.put_failures;
+      else
+        keys_.push_back(key);
+    }
+  }
+
+  void apply(const KvProbe& e) {
+    if (keys_.empty()) return;
+    const auto view = dht::RoutingView::snapshot(engine_.network());
+    const auto lost_vec = kv_.lost_keys(view);
+    const std::set<std::string> lost(lost_vec.begin(), lost_vec.end());
+    std::size_t found = 0, stale = 0, lost_hit = 0;
+    for (std::size_t i = 0; i < e.lookups; ++i) {
+      const std::string& key = keys_[rng_.below(keys_.size())];
+      const std::uint32_t from =
+          view.proj.owners[rng_.below(view.peer_count())];
+      const auto get = kv_.get(view, key, from);
+      if (get.found) {
+        ++found;
+        out_.workload.hops_sum += get.hops;
+      } else if (lost.contains(key)) {
+        ++lost_hit;
+      } else {
+        ++stale;
+      }
+    }
+    out_.workload.lookups += e.lookups;
+    out_.workload.lookups_found += found;
+    out_.workload.stale_misses += stale;
+    out_.workload.lost_misses += lost_hit;
+    out_.workload.max_lost_records =
+        std::max(out_.workload.max_lost_records, lost.size());
+    if (csv_) {
+      csv_->row();
+      csv_->cell("probe").cell(current_event_).cell(engine_.rounds_executed());
+      for (int i = 0; i < 9; ++i) csv_->cell("");
+      csv_->cell(static_cast<std::uint64_t>(e.lookups));
+      csv_->cell(static_cast<std::uint64_t>(found));
+      csv_->cell(static_cast<std::uint64_t>(stale));
+      csv_->cell(static_cast<std::uint64_t>(lost.size()));
+      csv_->cell("").cell("");
+    }
+  }
+
+  void apply(const KvRebalance&) {
+    const auto view = dht::RoutingView::snapshot(engine_.network());
+    kv_.rebalance(view);
+  }
+
+  [[nodiscard]] std::size_t poisson(double rate) {
+    // Knuth's product method; rate is small (a few events per round).
+    const double limit = std::exp(-rate);
+    std::size_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng_.uniform01();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  const Scenario& scenario_;
+  util::Rng rng_;
+  core::Engine engine_;
+  dht::KvStore kv_;
+  std::vector<std::string> keys_;
+  std::optional<util::CsvWriter> csv_;
+  std::string pending_events_;
+  const char* current_event_ = "";
+  core::RoundMetrics last_metrics_;
+  ScenarioOutcome out_;
+};
+
+std::size_t resolve(std::size_t v, std::size_t def) { return v ? v : def; }
+double resolve_p(double v, double def) { return v < 0.0 ? def : v; }
+
+// -- registered scenario builders --------------------------------------------
+
+Scenario build_churn_mix(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "churn-mix";
+  sc.description =
+      "random join/leave/crash ops against a live overlay, each run to the "
+      "exact fixpoint (paper §4)";
+  sc.n = resolve(p.n, 32);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap", .max_rounds = 1000000});
+  const std::size_t ops = resolve(p.ops, 12);
+  for (std::size_t i = 0; i < ops; ++i) {
+    sc.timeline.push_back(MixedChurn{.ops = 1});
+    sc.timeline.push_back(Checkpoint{.label = "op", .max_rounds = 1000000});
+  }
+  return sc;
+}
+
+Scenario build_join_leave_waves(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "join-leave-waves";
+  sc.description =
+      "a wave of joins, then graceful leaves, then crashes, each op run to "
+      "the fixpoint (Theorems 4.1/4.2 workload)";
+  sc.n = resolve(p.n, 32);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  const std::size_t ops = resolve(p.ops, 4);
+  for (std::size_t i = 0; i < ops; ++i) {
+    sc.timeline.push_back(JoinBurst{.count = 1});
+    sc.timeline.push_back(Checkpoint{.label = "join"});
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    sc.timeline.push_back(LeaveBurst{.count = 1});
+    sc.timeline.push_back(Checkpoint{.label = "leave"});
+  }
+  for (std::size_t i = 0; i < ops; ++i) {
+    sc.timeline.push_back(CrashBurst{.count = 1});
+    sc.timeline.push_back(Checkpoint{.label = "crash"});
+  }
+  return sc;
+}
+
+Scenario build_flash_crowd(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "flash-crowd";
+  sc.description =
+      "join storm: n/2 peers join in one round while the DHT keeps serving "
+      "lookups mid-healing";
+  sc.n = resolve(p.n, 48);
+  const std::size_t joiners = resolve(p.ops, sc.n / 2);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 64});
+  sc.timeline.push_back(JoinBurst{.count = joiners});
+  for (int i = 0; i < 3; ++i) {
+    sc.timeline.push_back(RunRounds{.rounds = 2});
+    sc.timeline.push_back(KvProbe{.lookups = 32});
+  }
+  sc.timeline.push_back(Checkpoint{.label = "healed"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(KvProbe{.lookups = 64});
+  return sc;
+}
+
+Scenario build_partition_heal(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "partition-heal";
+  sc.description =
+      "message-level partition window splits the overlay, lookups continue "
+      "during the cut, then the partition heals to the exact fixpoint";
+  sc.n = resolve(p.n, 40);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 64});
+  sc.timeline.push_back(
+      PartitionBegin{.fraction = resolve_p(p.intensity, 0.5)});
+  for (int i = 0; i < 2; ++i) {
+    sc.timeline.push_back(RunRounds{.rounds = 3});
+    sc.timeline.push_back(KvProbe{.lookups = 32});
+  }
+  sc.timeline.push_back(PartitionEnd{});
+  sc.timeline.push_back(Checkpoint{.label = "healed"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(KvProbe{.lookups = 64});
+  return sc;
+}
+
+Scenario build_lossy_bringup(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "lossy-bringup";
+  sc.description =
+      "cold start under message loss: converge to almost-stable while "
+      "messages drop, then close the window and reach the exact fixpoint";
+  sc.n = resolve(p.n, 24);
+  sc.timeline.push_back(
+      SetMessageLoss{.probability = resolve_p(p.intensity, 0.05)});
+  sc.timeline.push_back(AwaitAlmost{.label = "almost", .max_rounds = 4000});
+  sc.timeline.push_back(SetMessageLoss{.probability = 0.0});
+  sc.timeline.push_back(Checkpoint{.label = "final"});
+  return sc;
+}
+
+Scenario build_sleepy_bringup(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "sleepy-bringup";
+  sc.description =
+      "cold start under partial activation (asynchrony): peers sleep through "
+      "rounds with probability p, then the network settles exactly";
+  sc.n = resolve(p.n, 24);
+  sc.timeline.push_back(SetSleep{.probability = resolve_p(p.intensity, 0.4)});
+  sc.timeline.push_back(AwaitAlmost{.label = "almost", .max_rounds = 4000});
+  sc.timeline.push_back(SetSleep{.probability = 0.0});
+  sc.timeline.push_back(Checkpoint{.label = "final"});
+  return sc;
+}
+
+Scenario build_adversarial_recovery(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "adversarial-recovery";
+  sc.description =
+      "pathological initial state (sorted line), then a mid-run state "
+      "scramble, then churn -- Theorem 1.1 recovery three times over";
+  sc.n = resolve(p.n, 24);
+  sc.topology = gen::Topology::kLine;
+  sc.timeline.push_back(Checkpoint{.label = "recovered"});
+  sc.timeline.push_back(Scramble{});
+  sc.timeline.push_back(Checkpoint{.label = "re-recovered"});
+  sc.timeline.push_back(MixedChurn{.ops = resolve(p.ops, 2)});
+  sc.timeline.push_back(Checkpoint{.label = "after-churn"});
+  return sc;
+}
+
+Scenario build_poisson_storm(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "poisson-storm";
+  sc.description =
+      "sustained Poisson churn arriving WHILE the overlay heals, then the "
+      "storm stops and the network drains to the exact fixpoint";
+  sc.n = resolve(p.n, 40);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(
+      PoissonChurn{.events_per_round = resolve_p(p.intensity, 0.4),
+                   .rounds = resolve(p.ops, 25)});
+  sc.timeline.push_back(Checkpoint{.label = "drained"});
+  return sc;
+}
+
+}  // namespace
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const ScenarioParams& params, std::ostream* csv) {
+  ScenarioRunner runner(scenario, params, csv);
+  return runner.run();
+}
+
+const std::vector<ScenarioInfo>& scenario_registry() {
+  // Name and description live in one place -- the builder -- and are read
+  // off a default-params build, so the listing can never drift from what a
+  // run reports about itself.
+  static const std::vector<ScenarioInfo> registry = [] {
+    std::vector<ScenarioInfo> reg;
+    for (Scenario (*build)(const ScenarioParams&) :
+         {&build_churn_mix, &build_join_leave_waves, &build_flash_crowd,
+          &build_partition_heal, &build_lossy_bringup, &build_sleepy_bringup,
+          &build_adversarial_recovery, &build_poisson_storm}) {
+      const Scenario sc = build(ScenarioParams{});
+      reg.push_back({sc.name, sc.description, build});
+    }
+    return reg;
+  }();
+  return registry;
+}
+
+const ScenarioInfo* find_scenario(std::string_view name) {
+  for (const auto& info : scenario_registry())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+ScenarioOutcome run_registered_scenario(std::string_view name,
+                                        const ScenarioParams& params,
+                                        std::ostream* csv) {
+  const ScenarioInfo* info = find_scenario(name);
+  if (!info)
+    throw std::invalid_argument("unknown scenario: " + std::string(name));
+  const Scenario sc = info->build(params);
+  return run_scenario(sc, params, csv);
+}
+
+}  // namespace rechord::sim

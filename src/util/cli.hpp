@@ -30,6 +30,14 @@ class Cli {
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& key, std::vector<std::int64_t> fallback) const;
 
+  // Shared scenario/export plumbing: every bench and example that can run a
+  // registered scenario or emit CSV reads these two flags through the same
+  // accessors, so the flag names stay uniform across binaries.
+  /// `--scenario NAME` (empty when absent).
+  [[nodiscard]] std::string scenario() const { return get("scenario", ""); }
+  /// `--csv PATH` (empty = no CSV output).
+  [[nodiscard]] std::string csv_path() const { return get("csv", ""); }
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

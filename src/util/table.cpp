@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/csv.hpp"
 #include "util/stats.hpp"
 
 namespace rechord::util {
@@ -61,6 +62,15 @@ void Table::print(std::ostream& out) const {
       print_cell(row[c], c, looks_numeric(row[c]));
     }
     out << '\n';
+  }
+}
+
+void Table::write_csv(std::ostream& out) const {
+  CsvWriter w(out);
+  w.header(columns_);
+  for (const auto& row : rows_) {
+    w.row();
+    for (const auto& cell : row) w.cell(cell);
   }
 }
 

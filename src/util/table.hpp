@@ -24,6 +24,11 @@ class Table {
   /// Renders with a header rule, padded columns, and right-aligned numerics.
   void print(std::ostream& out) const;
 
+  /// Writes the same data as RFC-4180 CSV (header row + one row per
+  /// add_row) through util::CsvWriter -- the shared export path of the
+  /// `--csv` flag, so every printed bench table can be exported verbatim.
+  void write_csv(std::ostream& out) const;
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;

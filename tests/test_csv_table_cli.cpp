@@ -76,7 +76,28 @@ TEST(Table, NumericRowHelper) {
   EXPECT_NE(out.str().find("5.7"), std::string::npos);
 }
 
+TEST(Table, WriteCsvMatchesRowsAndEscapes) {
+  Table t({"n", "label"});
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "needs,quoting"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "n,label\n1,plain\n2,\"needs,quoting\"\n");
+}
+
 // ---------------------------------------------------------------- CLI
+
+TEST(Cli, ScenarioAndCsvPlumbing) {
+  const char* argv[] = {"prog", "--scenario", "flash-crowd", "--csv",
+                        "series.csv"};
+  const Cli cli(5, argv);
+  EXPECT_EQ(cli.scenario(), "flash-crowd");
+  EXPECT_EQ(cli.csv_path(), "series.csv");
+  const char* bare[] = {"prog"};
+  const Cli none(1, bare);
+  EXPECT_TRUE(none.scenario().empty());
+  EXPECT_TRUE(none.csv_path().empty());
+}
 
 TEST(Cli, ParsesKeyValuePairs) {
   const char* argv[] = {"prog", "--n", "25", "--seed=7", "--flag"};

@@ -1,0 +1,252 @@
+// Scenario timeline engine (sim/scenario.hpp): the registry lists the
+// documented scenarios, ported scenarios reproduce the pre-refactor bespoke
+// drivers bit for bit (same per-op recovery rounds and state fingerprints),
+// every registered scenario is fingerprint-identical across the active-set
+// scheduler, the flag-gated full scan, serial and 8-thread execution, the
+// engine's partition window drops exactly the cross-cut messages in every
+// mode, and the CSV series has one row per executed round.
+
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/churn.hpp"
+#include "core/convergence.hpp"
+#include "core/spec.hpp"
+#include "gen/topologies.hpp"
+
+namespace rechord::sim {
+namespace {
+
+TEST(ScenarioRegistry, ListsAtLeastSixDistinctScenarios) {
+  const auto& registry = scenario_registry();
+  EXPECT_GE(registry.size(), 6U);
+  std::set<std::string> names;
+  for (const auto& info : registry) {
+    names.insert(info.name);
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_EQ(find_scenario(info.name), &info);
+    // Every build yields a runnable timeline with at least one checkpoint.
+    ScenarioParams params;
+    const Scenario sc = info.build(params);
+    EXPECT_EQ(sc.name, info.name);
+    EXPECT_FALSE(sc.timeline.empty()) << info.name;
+  }
+  EXPECT_EQ(names.size(), registry.size());
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+}
+
+// The pre-refactor examples/churn_scenario.cpp driver, reproduced verbatim:
+// one rng stream seeds the network and then draws (victim, op-kind[, id])
+// per op, with a blanket reset_change_tracking before every re-convergence.
+// The ported `churn-mix` scenario must produce the same op schedule, the
+// same per-op recovery rounds and the same state fingerprints -- despite
+// using the engine's mid-run hooks WITHOUT the blanket reset.
+TEST(ScenarioPort, ChurnMixReproducesPreRefactorDriver) {
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kOps = 6;
+  constexpr std::uint64_t kSeed = 11;
+
+  struct OpRecord {
+    std::uint64_t rounds_exact;
+    std::uint64_t rounds_almost;
+    std::uint64_t fingerprint;
+  };
+  std::vector<OpRecord> legacy;
+  std::uint64_t legacy_bootstrap = 0;
+  {
+    util::Rng rng(kSeed);
+    core::Engine engine(
+        gen::make_network(gen::Topology::kRandomConnected, kN, rng), {});
+    {
+      const auto spec = core::StableSpec::compute(engine.network());
+      legacy_bootstrap = core::run_to_stable(engine, spec, {}).rounds_to_stable;
+    }
+    for (std::size_t i = 0; i < kOps; ++i) {
+      for (;;) {
+        const auto owners = engine.network().live_owners();
+        const auto pick = owners[rng.below(owners.size())];
+        const auto kind = rng.below(3);
+        if (kind == 0) {
+          core::join(engine.network(), rng.next(), pick);
+        } else if (owners.size() <= 3) {
+          continue;  // redraw, like the old example's `--i; continue`
+        } else if (kind == 1) {
+          core::leave_gracefully(engine.network(), pick);
+        } else {
+          core::crash(engine.network(), pick);
+        }
+        break;
+      }
+      engine.reset_change_tracking();
+      const auto spec = core::StableSpec::compute(engine.network());
+      const auto r = core::run_to_stable(engine, spec, {});
+      ASSERT_TRUE(r.stabilized && r.spec_exact) << "op " << i;
+      legacy.push_back({r.rounds_to_stable, r.rounds_to_almost,
+                        engine.network().state_fingerprint()});
+    }
+  }
+
+  ScenarioParams params;
+  params.n = kN;
+  params.seed = kSeed;
+  params.ops = kOps;
+  const auto out = run_registered_scenario("churn-mix", params);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.checkpoints.size(), kOps + 1);  // bootstrap + one per op
+  EXPECT_EQ(out.checkpoints[0].rounds, legacy_bootstrap);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const auto& cp = out.checkpoints[i + 1];
+    EXPECT_EQ(cp.rounds, legacy[i].rounds_exact) << "op " << i;
+    EXPECT_EQ(cp.rounds_almost, legacy[i].rounds_almost) << "op " << i;
+    EXPECT_EQ(cp.fingerprint, legacy[i].fingerprint) << "op " << i;
+  }
+}
+
+// The pre-refactor examples/adversarial_recovery.cpp driver: fresh engine on
+// a pathological topology, run to the fixpoint. The ported scenario's first
+// checkpoint must match its rounds and final state exactly.
+TEST(ScenarioPort, AdversarialRecoveryReproducesPreRefactorDriver) {
+  constexpr std::size_t kN = 16;
+  constexpr std::uint64_t kSeed = 9;
+
+  std::uint64_t legacy_rounds = 0, legacy_fp = 0;
+  {
+    util::Rng rng(kSeed);
+    core::Engine engine(
+        gen::make_network(gen::Topology::kLine, kN, rng), {});
+    const auto spec = core::StableSpec::compute(engine.network());
+    core::RunOptions opt;
+    opt.max_rounds = 100000;
+    const auto r = core::run_to_stable(engine, spec, opt);
+    ASSERT_TRUE(r.stabilized && r.spec_exact);
+    legacy_rounds = r.rounds_to_stable;
+    legacy_fp = engine.network().state_fingerprint();
+  }
+
+  ScenarioParams params;
+  params.n = kN;
+  params.seed = kSeed;
+  const auto out = run_registered_scenario("adversarial-recovery", params);
+  ASSERT_TRUE(out.ok);
+  ASSERT_GE(out.checkpoints.size(), 3U);
+  EXPECT_EQ(out.checkpoints[0].label, "recovered");
+  EXPECT_EQ(out.checkpoints[0].rounds, legacy_rounds);
+  EXPECT_EQ(out.checkpoints[0].fingerprint, legacy_fp);
+}
+
+// The determinism contract (DESIGN.md §7): a scenario run is bit-identical
+// -- same round counts, same per-checkpoint and final fingerprints -- under
+// the active-set scheduler and the flag-gated full scan, serial and sharded
+// over the 8-thread pool, for EVERY registered scenario.
+TEST(ScenarioDeterminism, AllScenariosFingerprintEqualAcrossSchedulerModes) {
+  for (const auto& info : scenario_registry()) {
+    ScenarioParams base;
+    base.n = 70;
+    base.seed = 7;
+    base.ops = 3;
+    std::vector<ScenarioOutcome> runs;
+    for (const bool full_scan : {false, true}) {
+      for (const unsigned threads : {1U, 8U}) {
+        ScenarioParams params = base;
+        params.engine.threads = threads;
+        params.engine.full_scan = full_scan;
+        runs.push_back(run_registered_scenario(info.name, params));
+      }
+    }
+    const auto& ref = runs.front();
+    EXPECT_TRUE(ref.ok) << info.name;
+    for (std::size_t v = 1; v < runs.size(); ++v) {
+      const auto& alt = runs[v];
+      ASSERT_EQ(alt.total_rounds, ref.total_rounds)
+          << info.name << " variant " << v;
+      ASSERT_EQ(alt.final_fingerprint, ref.final_fingerprint)
+          << info.name << " variant " << v;
+      ASSERT_EQ(alt.ok, ref.ok) << info.name << " variant " << v;
+      ASSERT_EQ(alt.checkpoints.size(), ref.checkpoints.size()) << info.name;
+      for (std::size_t c = 0; c < ref.checkpoints.size(); ++c) {
+        ASSERT_EQ(alt.checkpoints[c].rounds, ref.checkpoints[c].rounds)
+            << info.name << " checkpoint " << c << " variant " << v;
+        ASSERT_EQ(alt.checkpoints[c].fingerprint,
+                  ref.checkpoints[c].fingerprint)
+            << info.name << " checkpoint " << c << " variant " << v;
+      }
+      // Fault/partition schedules are part of the contract too.
+      EXPECT_EQ(alt.messages_dropped, ref.messages_dropped) << info.name;
+      EXPECT_EQ(alt.partition_dropped, ref.partition_dropped) << info.name;
+    }
+    // The active serial run must actually have used the scheduler.
+    EXPECT_GT(ref.replayed_peer_rounds + ref.skipped_peer_rounds, 0U)
+        << info.name;
+  }
+}
+
+// Engine-level partition window: dropping exactly the cross-cut messages is
+// mode-independent, and the overlay heals back to the exact fixpoint after
+// the cut clears.
+TEST(ScenarioEngine, PartitionWindowBitIdenticalAndHeals) {
+  auto make = [](core::EngineOptions opt) {
+    util::Rng rng(23);
+    return core::Engine(
+        gen::make_network(gen::Topology::kRandomConnected, 40, rng), opt);
+  };
+  core::Engine active = make({});
+  core::Engine full = make({.full_scan = true});
+  for (core::Engine* e : {&active, &full}) {
+    const auto spec = core::StableSpec::compute(e->network());
+    ASSERT_TRUE(core::run_to_stable(*e, spec, {}).stabilized);
+  }
+  std::vector<std::uint8_t> group(active.network().owner_count(), 0);
+  for (std::size_t o = 0; o < group.size(); ++o) group[o] = o % 2;
+  active.set_partition(group);
+  full.set_partition(group);
+  for (int r = 0; r < 6; ++r) {
+    active.step();
+    full.step();
+    ASSERT_EQ(active.network().state_fingerprint(),
+              full.network().state_fingerprint())
+        << "partition round " << r;
+  }
+  EXPECT_GT(active.partition_dropped(), 0U);
+  EXPECT_EQ(active.partition_dropped(), full.partition_dropped());
+  active.clear_partition();
+  full.clear_partition();
+  const auto spec = core::StableSpec::compute(active.network());
+  core::RunOptions opt;
+  opt.max_rounds = 20000;
+  const auto ra = core::run_to_stable(active, spec, opt);
+  const auto rf = core::run_to_stable(full, spec, opt);
+  EXPECT_TRUE(ra.stabilized && ra.spec_exact);
+  EXPECT_EQ(ra.rounds_to_stable, rf.rounds_to_stable);
+  EXPECT_EQ(active.network().state_fingerprint(),
+            full.network().state_fingerprint());
+}
+
+// The per-round CSV series: one "round" row per executed engine round, one
+// "checkpoint" row per checkpoint, probe rows for kv probes.
+TEST(ScenarioCsv, SeriesHasOneRowPerRound) {
+  ScenarioParams params;
+  params.n = 20;
+  params.seed = 3;
+  params.ops = 2;
+  std::ostringstream csv;
+  const auto out = run_registered_scenario("churn-mix", params, &csv);
+  ASSERT_TRUE(out.ok);
+  std::istringstream in(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("record,event,round,", 0), 0U) << line;
+  std::size_t round_rows = 0, checkpoint_rows = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("round,", 0) == 0) ++round_rows;
+    if (line.rfind("checkpoint,", 0) == 0) ++checkpoint_rows;
+  }
+  EXPECT_EQ(round_rows, out.total_rounds);
+  EXPECT_EQ(checkpoint_rows, out.checkpoints.size());
+}
+
+}  // namespace
+}  // namespace rechord::sim

@@ -263,6 +263,59 @@ TEST(Scheduler, StormWithoutResetStaysBitIdentical) {
   }
 }
 
+// Graceful-leave schedules, specifically: leave_gracefully is the one churn
+// op that mutates OTHER peers' edge sets out-of-band (the departing peer
+// introduces its in-neighbors to its out-neighbors before vanishing), so it
+// stresses the oob dirty scan and its reader registration differently from
+// join/crash. Randomized bursts of 1-3 leaves, frequently without
+// reset_change_tracking, must stay fingerprint-identical to the full scan
+// through every recovery round -- serial and sharded over 8 threads.
+TEST(Scheduler, GracefulLeaveSchedulesBitIdenticalSerialAndSharded) {
+  for (const unsigned threads : {1U, 8U}) {
+    for (std::uint64_t seed : {141ULL, 142ULL}) {
+      Engine active(random_net(80, seed, /*scrambled=*/false),
+                    {.threads = threads});
+      Engine full(random_net(80, seed, /*scrambled=*/false),
+                  {.threads = 1, .full_scan = true});
+      const auto spec0 = StableSpec::compute(active.network());
+      RunOptions opt;
+      opt.max_rounds = 20000;
+      ASSERT_TRUE(run_to_stable(active, spec0, opt).stabilized);
+      ASSERT_TRUE(run_to_stable(full, spec0, opt).stabilized);
+      util::Rng rng(seed * 131);
+      std::uint64_t avoided = 0;
+      while (active.network().alive_owner_count() > 16) {
+        const std::size_t burst = 1 + rng.below(3);
+        for (std::size_t b = 0; b < burst; ++b) {
+          const auto owners = active.network().live_owners();
+          ASSERT_EQ(owners, full.network().live_owners());
+          if (owners.size() <= 4) break;
+          const std::uint32_t victim = owners[rng.below(owners.size())];
+          leave_gracefully(active.network(), victim);
+          leave_gracefully(full.network(), victim);
+        }
+        if (rng.below(3) == 0) {  // mostly exercise the no-reset oob path
+          active.reset_change_tracking();
+          full.reset_change_tracking();
+        }
+        for (int r = 0; r < 60; ++r) {
+          const auto ma = active.step();
+          const auto mf = full.step();
+          avoided += ma.replayed_peers + ma.skipped_peers;
+          ASSERT_EQ(active.network().state_fingerprint(),
+                    full.network().state_fingerprint())
+              << "threads=" << threads << " seed=" << seed << " round " << r;
+          if (!ma.changed && !mf.changed) break;
+        }
+        const auto spec = StableSpec::compute(active.network());
+        ASSERT_TRUE(spec.exact_match(active.network()))
+            << "threads=" << threads << " seed=" << seed;
+      }
+      EXPECT_GT(avoided, 0U) << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
 // Perturbation locality: after a single join into a stabilized network, the
 // wake set must stay a small neighborhood, not O(n).
 TEST(Scheduler, SingleJoinWakesOnlyANeighborhood) {
