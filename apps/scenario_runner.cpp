@@ -5,7 +5,9 @@
 //   ./scenario_runner --scenario flash-crowd [--n 48] [--seed 1] [--ops K]
 //                     [--intensity X] [--replicas 2] [--threads T]
 //                     [--full-scan] [--csv series.csv]
-//   ./scenario_runner --all [--seed 1]        (smoke-run every scenario)
+//   ./scenario_runner --all [--seed 1]        (smoke-run every scenario at a
+//                                              common small size; override
+//                                              with --n)
 //
 // Exit code 0 iff every convergence checkpoint of every executed scenario
 // passed -- CI runs two scenarios through this binary and relies on it.
@@ -101,8 +103,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto params = sim::scenario_params_from_cli(cli);
+  auto params = sim::scenario_params_from_cli(cli);
   if (cli.get_flag("all")) {
+    // Smoke semantics: without an explicit --n, run every scenario at one
+    // small common size -- scale scenarios like sustained-churn default to
+    // n=100k when run individually, which is not a smoke run.
+    if (params.n == 0) params.n = 48;
     int failures = 0;
     for (const auto& info : registry)
       failures += run_one(info, params, "") != 0;

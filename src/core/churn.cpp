@@ -57,4 +57,38 @@ void crash(Network& net, std::uint32_t owner) {
   remove_owner(net, owner);
 }
 
+PeerSnapshot capture_peer(const Network& net, std::uint32_t owner) {
+  assert(net.owner_alive(owner));
+  PeerSnapshot snap;
+  snap.owner = owner;
+  for (std::uint32_t i = 0; i < kSlotsPerOwner; ++i) {
+    const Slot s = slot_of(owner, i);
+    if (!net.alive(s)) continue;
+    PeerSnapshot::SlotState st;
+    st.index = i;
+    for (int k = 0; k < kEdgeKinds; ++k)
+      st.edges[k] = net.edges(s, static_cast<EdgeKind>(k));
+    snap.slots.push_back(std::move(st));
+  }
+  return snap;
+}
+
+void restart_peer(Network& net, const PeerSnapshot& snap) {
+  assert(!net.owner_alive(snap.owner));
+#ifndef NDEBUG
+  for (std::uint32_t o = 0; o < net.owner_count(); ++o)
+    assert(!net.owner_alive(o) || net.owner_pos(o) != net.owner_pos(snap.owner));
+#endif
+  // Revive every captured slot first so the edge insertions below count in
+  // the live-edge metrics, then restore the stale sets verbatim.
+  for (const auto& st : snap.slots)
+    net.set_alive(slot_of(snap.owner, st.index), true);
+  for (const auto& st : snap.slots) {
+    const Slot s = slot_of(snap.owner, st.index);
+    for (int k = 0; k < kEdgeKinds; ++k)
+      for (Slot t : st.edges[k]) net.add_edge(s, static_cast<EdgeKind>(k), t);
+  }
+  net.normalize();  // stale references to peers that left while down
+}
+
 }  // namespace rechord::core

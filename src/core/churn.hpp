@@ -1,9 +1,13 @@
 #pragma once
 // Membership changes (paper §4): joining a new peer through a contact node,
 // graceful departure (the leaver introduces its neighbors to each other), and
-// crash failure (the peer and all of its links vanish).
+// crash failure (the peer and all of its links vanish). Beyond the paper:
+// crash-restart (rejoin-with-stale-state), where a crashed peer later
+// re-enters with the edges it held at crash time -- self-stabilization must
+// absorb the stale routing state like any other perturbation.
 
 #include <cstdint>
+#include <vector>
 
 #include "core/network.hpp"
 
@@ -23,5 +27,28 @@ void leave_gracefully(Network& net, std::uint32_t owner);
 /// Crash failure: the peer and all of its links (in and out) disappear with
 /// no notification.
 void crash(Network& net, std::uint32_t owner);
+
+/// The stale state a crash-restarted peer re-enters with: which of its slots
+/// were alive and what edges they held at capture time. rl/rr are not
+/// captured -- the restarted peer recomputes them in its first round, like
+/// any peer with unknown closest-real neighbors.
+struct PeerSnapshot {
+  std::uint32_t owner = 0;
+  struct SlotState {
+    std::uint32_t index = 0;
+    std::vector<Slot> edges[kEdgeKinds];
+  };
+  std::vector<SlotState> slots;  // live slots at capture, ascending index
+};
+
+/// Captures `owner`'s live slots and edge sets (call before crash()).
+[[nodiscard]] PeerSnapshot capture_peer(const Network& net,
+                                        std::uint32_t owner);
+
+/// Crash-restart: re-activates the captured slots and restores their edge
+/// sets verbatim, then normalizes (references to peers that departed while
+/// the peer was down are re-homed or dropped). `snap.owner` must currently
+/// be dead and no live peer may have taken its identifier.
+void restart_peer(Network& net, const PeerSnapshot& snap);
 
 }  // namespace rechord::core

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/churn.hpp"
 #include "util/cli.hpp"
@@ -48,12 +49,35 @@ std::uint32_t Engine::join_peer(RingPos id, std::uint32_t contact_owner) {
                                   ? partition_group_[contact_owner]
                                   : 0;
   }
+  if (!dc_of_owner_.empty()) {
+    // A newcomer is racked where its contact lives: it inherits the
+    // contact's datacenter group (mirrors the partition-side inheritance).
+    const std::uint8_t dc = datacenter_of(contact_owner);
+    if (dc_of_owner_.size() <= owner) dc_of_owner_.resize(owner + 1, 0);
+    dc_of_owner_[owner] = dc;
+  }
   return owner;
 }
 
 void Engine::leave_peer(std::uint32_t owner) { leave_gracefully(net_, owner); }
 
 void Engine::crash_peer(std::uint32_t owner) { crash(net_, owner); }
+
+void Engine::restart_peer(const PeerSnapshot& snapshot) {
+  core::restart_peer(net_, snapshot);
+}
+
+std::vector<std::uint32_t> Engine::inflight_referenced_owners() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& bucket : inflight_)
+    for (const DelayedOp& op : bucket) {
+      out.push_back(owner_of(op.target));
+      out.push_back(owner_of(op.payload));
+    }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
 
 void Engine::set_partition(std::vector<std::uint8_t> group_of_owner) {
   partition_group_ = std::move(group_of_owner);
@@ -95,11 +119,21 @@ void Engine::rebuild_flow_indices() {
   // loss and partition cuts drop deliveries, and a peer sleeping through a
   // round keeps its cache without re-sending, while the downstream holder
   // may still have applied its removal.
+  // ... and a nonzero-delay emission is in flight rather than applied, so
+  // while the latency queue is non-empty the cached-op pairs (plus the
+  // queued ops' own pairs, below) must be collected explicitly.
   const bool ops_covered_by_edges = opt_.message_loss <= 0.0 &&
                                     opt_.sleep_probability <= 0.0 &&
-                                    !partition_active_;
+                                    !partition_active_ && inflight_count_ == 0;
   op_reader_pairs_.clear();
   op_sender_pairs_.clear();
+  for (const auto& bucket : inflight_)
+    for (const DelayedOp& op : bucket) {
+      const std::uint32_t to = owner_of(op.target), po = owner_of(op.payload);
+      if (to != po)
+        op_reader_pairs_.push_back((static_cast<std::uint64_t>(po) << 32) |
+                                   to);
+    }
   for (std::uint32_t o = 0; o < net_.owner_count(); ++o) {
     PeerCache& pcc = cache_[o];
     // New registration epoch: the per-peer memos restart empty; entries a
@@ -219,6 +253,38 @@ void Engine::compute_skip_set() {
   for (std::uint32_t o : oob_owners_)
     if (!net_.owner_alive(o))  // departed peers: one-time rule (2) eviction
       for (std::uint32_t d : cache_[o].op_owners) evict(d);
+  // Latency rules (DESIGN.md §8). (3) In-flight traffic pins its endpoints:
+  // an owner referenced (target or payload) by a queued delayed assignment
+  // receives -- or resolves -- a delivery the full scan also performs, so it
+  // must at least replay until the queue no longer references it. (4) A
+  // candidate whose cached ops travel on a nonzero delay class must replay,
+  // not skip: skipping would stop its emissions from entering the queue,
+  // and the active-mode queue would diverge from the full scan's (the
+  // queue's emptiness gates fixpoint detection). Keyed on the CLASS being
+  // nonzero, not a concrete draw -- jitter re-rolls every round.
+  if (inflight_count_ > 0)
+    for (const auto& bucket : inflight_)
+      for (const DelayedOp& op : bucket) {
+        evict(owner_of(op.target));
+        evict(owner_of(op.payload));
+      }
+  if (latency_installed_ && !latency_.trivial())
+    for (std::uint32_t o = 0; o < n; ++o) {
+      if (!skip_[o]) continue;
+      PeerCache& pc = cache_[o];
+      if (pc.delay_memo_epoch != latency_epoch_) {
+        const std::uint8_t src = datacenter_of(o);
+        pc.has_nonzero_delay = false;
+        for (const DelayedOp& op : pc.ops)
+          if (latency_.cls(src, datacenter_of(owner_of(op.target)))
+                  .nonzero()) {
+            pc.has_nonzero_delay = true;
+            break;
+          }
+        pc.delay_memo_epoch = latency_epoch_;
+      }
+      if (pc.has_nonzero_delay) evict(o);
+    }
   while (!evict_stack_.empty()) {
     const std::uint32_t d = evict_stack_.back();
     evict_stack_.pop_back();
@@ -310,8 +376,18 @@ void Engine::run_range(std::size_t begin, std::size_t end,
   RuleActivity& act = shard_activity_[shard];
   RuleArena& arena = arenas_[shard];
   const bool active = active_mode();
+  // In latency rounds, each peer's contiguous op span is recorded as
+  // (owner, count) so route_inflight() can recover the sender -- the op
+  // shape itself carries only target and payload.
+  const bool track_src = latency_round_;
   for (std::size_t i = begin; i < end; ++i) {
     const std::uint32_t owner = owners_[i];
+    const std::size_t peer_op_base = out.size();
+    const auto note_src = [&] {
+      if (track_src && out.size() > peer_op_base)
+        shard_op_src_[shard].emplace_back(
+            owner, static_cast<std::uint32_t>(out.size() - peer_op_base));
+    };
     bool check = false;
     PeerCache* pc = nullptr;
     if (active) {
@@ -330,6 +406,7 @@ void Engine::run_range(std::size_t begin, std::size_t end,
         if (!opt_.paranoid_replay) {
           replay_peer(owner, *pc, out, act);
           shard_ran_[shard].push_back(owner);
+          note_src();
           continue;
         }
         // Paranoid: run live anyway and diff against the cache below.
@@ -370,6 +447,7 @@ void Engine::run_range(std::size_t begin, std::size_t end,
       rr_next_[s] = kInvalidSlot;
     }
     shard_ran_[shard].push_back(owner);
+    note_src();
     if (active && bulk_round_) {
       // Storm round: ran bare, nothing recorded. The stale cache must not
       // be replayed (its op_owners stay behind for the skip closure's
@@ -389,6 +467,7 @@ void Engine::run_range(std::size_t begin, std::size_t end,
           pc->delta == paranoid_prev_[shard].delta;
       pc->notes_fresh = !output_same;
       if (!output_same) {
+        pc->delay_memo_epoch = 0;  // ops changed: delay-class memo is stale
         pc->ops.assign(fresh_begin, out.end());
         pc->op_owners.clear();
         for (auto it = pc->ops.begin(); it != pc->ops.end(); ++it) {
@@ -449,6 +528,12 @@ void Engine::run_peers() {
   if (shard_live_.size() < shards) shard_live_.resize(shards);
   for (auto& v : shard_ran_) v.clear();
   if (shard_ran_.size() < shards) shard_ran_.resize(shards);
+  if (latency_round_) {
+    // Clear every span vector (route_inflight walks them all), not just the
+    // first `shards`, in case a previous round used more shards.
+    for (auto& v : shard_op_src_) v.clear();
+    if (shard_op_src_.size() < shards) shard_op_src_.resize(shards);
+  }
   if (serial) {
     run_range(0, owners_.size(), ops_, 0);
     return;
@@ -476,8 +561,48 @@ void Engine::run_peers() {
     ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
 }
 
+void Engine::route_inflight() {
+  // Routes this round's emissions through the latency model and assembles
+  // the commit sequence: first the queue bucket due now (messages issued
+  // delay rounds ago), then the fresh delay-0 traffic, both in emission
+  // order. Nonzero-delay messages are enqueued d rounds out. The sender of
+  // each op span comes from the per-shard (owner, count) runs, walked in
+  // shard order -- which equals the serial ascending-owner emission order,
+  // so the routed sequence is thread-count invariant.
+  route_buf_.clear();
+  if (!inflight_.empty()) {
+    route_buf_.swap(inflight_.front());
+    inflight_.pop_front();
+    inflight_count_ -= route_buf_.size();
+  }
+  std::size_t idx = 0;
+  for (const auto& spans : shard_op_src_)
+    for (const auto& [owner, count] : spans) {
+      const std::uint8_t src = datacenter_of(owner);
+      for (std::uint32_t k = 0; k < count; ++k, ++idx) {
+        const DelayedOp& op = ops_[idx];
+        const std::uint32_t d = latency_.delay(
+            src, datacenter_of(owner_of(op.target)), round_, owner, op);
+        if (d == 0) {
+          route_buf_.push_back(op);
+          continue;
+        }
+        while (inflight_.size() < d) inflight_.emplace_back();
+        inflight_[d - 1].push_back(op);
+        ++inflight_count_;
+      }
+    }
+  assert(idx == ops_.size());
+  ops_.swap(route_buf_);
+}
+
 RoundMetrics Engine::step() {
   const bool active = active_mode();
+  // Routing only matters while a message CAN be delayed or one still is; a
+  // flattened (trivial) model with a drained queue reverts to the plain
+  // pipeline for the round.
+  latency_round_ = latency_installed_ &&
+                   (!latency_.trivial() || inflight_count_ > 0);
   if (opt_.legacy_fixpoint) {
     if (prev_state_.empty()) prev_state_ = net_.serialize_state();
   } else if (!baseline_ready_) {
@@ -510,6 +635,7 @@ RoundMetrics Engine::step() {
     rr_next_.resize(net_.slot_count(), kInvalidSlot);
   }
   run_peers();
+  if (latency_round_) route_inflight();
   activity_ = RuleActivity{};
   for (const auto& act : shard_activity_) activity_ += act;
   std::size_t active_peers = 0, replayed_peers = 0, skipped_peers = 0;
@@ -674,6 +800,11 @@ RoundMetrics Engine::step() {
   } else {
     mt.changed = net_.consume_round_changes();
   }
+  // In-flight messages are pending state changes: a round that left the
+  // latency queue non-empty is never a fixpoint, even when no digest moved
+  // (the queued deliveries land in later rounds). Applies identically to
+  // all three detector paths, so the verdict stays mode-independent.
+  if (inflight_count_ > 0) mt.changed = true;
   if (observer_) observer_(mt);
   return mt;
 }
@@ -686,6 +817,7 @@ RoundMetrics Engine::measure() const {
   mt.unmarked_edges = net_.edge_count(EdgeKind::kUnmarked);
   mt.ring_edges = net_.edge_count(EdgeKind::kRing);
   mt.connection_edges = net_.edge_count(EdgeKind::kConnection);
+  mt.inflight_messages = inflight_count_;
   mt.changed = true;
   return mt;
 }

@@ -35,10 +35,14 @@
 // tests/test_scheduler.cpp asserts.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/churn.hpp"
+#include "core/latency.hpp"
 #include "core/network.hpp"
 #include "core/rules.hpp"
 #include "core/types.hpp"
@@ -68,7 +72,12 @@ struct RoundMetrics {
   /// ops addressed to them cancel to a net-zero round contribution), so
   /// neither rules nor replay ran and no ops were emitted.
   std::size_t skipped_peers = 0;
-  /// True when this round changed the global state (fixpoint detector).
+  /// Delayed assignments still in the latency model's in-flight queue at the
+  /// end of the round (0 without a nontrivial model, DESIGN.md §8).
+  std::size_t inflight_messages = 0;
+  /// True when this round changed the global state (fixpoint detector). With
+  /// a latency model installed, a round with in-flight messages is never a
+  /// fixpoint: the queued deliveries are pending state changes.
   bool changed = true;
 
   /// The paper's "normal edges": everything except connection edges.
@@ -175,6 +184,11 @@ class Engine {
   void leave_peer(std::uint32_t owner);
   /// Crash failure (core::crash).
   void crash_peer(std::uint32_t owner);
+  /// Crash-restart (core::restart_peer): the captured peer re-enters with
+  /// its stale pre-crash edges. Keeps its old owner id, partition side and
+  /// datacenter assignment; the pre-round dirty scan wakes it and its new
+  /// readers like any out-of-band mutation.
+  void restart_peer(const PeerSnapshot& snapshot);
 
   /// Fault windows: adjust the fault-injection knobs mid-run (scenario
   /// loss/asynchrony windows). Takes effect from the next step(); while a
@@ -201,6 +215,57 @@ class Engine {
   /// Delayed assignments dropped at the partition cut so far.
   [[nodiscard]] std::uint64_t partition_dropped() const noexcept {
     return partition_dropped_;
+  }
+
+  // -- multi-datacenter latency model (DESIGN.md §8) ------------------------
+  //
+  // Once installed, every delayed assignment is routed through the model: a
+  // message from owner u to owner v issued at round r commits at round
+  // r + delay(dc(u), dc(v)) instead of unconditionally at r. Nonzero delays
+  // go through the in-flight queue (buckets by due round, deterministic
+  // drain order: due bucket first, then this round's delay-0 traffic, both
+  // in emission order); loss coins, partition cuts and ghost re-homing are
+  // all applied at DELIVERY time, against the state of the delivery round.
+  // An all-zero model keeps the queue structurally empty and reproduces the
+  // synchronous pipeline bit for bit (asserted in tests/test_scenario.cpp).
+
+  /// Installs (or replaces) the latency model. Messages already in flight
+  /// keep their scheduled delivery rounds; only future sends use the new
+  /// classes. Install a trivial model to close a latency window -- the
+  /// queue then drains within max_delay rounds.
+  void set_latency_model(LatencyModel model) {
+    latency_ = std::move(model);
+    latency_installed_ = true;
+    ++latency_epoch_;
+  }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return latency_;
+  }
+  [[nodiscard]] bool latency_installed() const noexcept {
+    return latency_installed_;
+  }
+  /// Assigns owners to datacenter groups (`dc_of_owner[o]`; owners beyond
+  /// the vector, and all owners before any assignment, are datacenter 0).
+  /// Peers joining later through join_peer inherit their contact's group.
+  void assign_datacenters(std::vector<std::uint8_t> dc_of_owner) {
+    dc_of_owner_ = std::move(dc_of_owner);
+    ++latency_epoch_;
+  }
+  [[nodiscard]] std::uint8_t datacenter_of(std::uint32_t owner) const noexcept {
+    return owner < dc_of_owner_.size() ? dc_of_owner_[owner] : 0;
+  }
+  /// Delayed assignments currently in flight (issued, not yet committed).
+  [[nodiscard]] std::size_t inflight_message_count() const noexcept {
+    return inflight_count_;
+  }
+  /// Sorted unique owners referenced (target or payload) by an in-flight
+  /// message -- exactly the owners the next step() must keep out of the
+  /// resting-skip set (test instrumentation).
+  [[nodiscard]] std::vector<std::uint32_t> inflight_referenced_owners() const;
+  /// True when `owner` was skipped as resting by the most recent step()
+  /// (test instrumentation).
+  [[nodiscard]] bool owner_was_skipped(std::uint32_t owner) const noexcept {
+    return owner < skip_.size() && skip_[owner] != 0;
   }
 
   /// Per-round metrics observer, invoked at the end of every step() with the
@@ -258,6 +323,13 @@ class Engine {
     std::vector<std::uint32_t> reg_read_targets;  // note_reader(t, self)
     std::vector<std::uint64_t> reg_op_pairs;  // (target_owner<<32)|payload
     std::vector<std::uint32_t> reg_op_senders;  // note_op_sender(d, self)
+    /// Memo for the skip rule-(4) scan (DESIGN.md §8.2): whether any cached
+    /// op travels on a nonzero delay class, valid while the epoch matches
+    /// Engine::latency_epoch_. Reset to 0 (stale) when the ops re-record;
+    /// recomputed lazily by compute_skip_set, so a long latency window costs
+    /// one scan per cache recording instead of one per round.
+    std::uint64_t delay_memo_epoch = 0;
+    bool has_nonzero_delay = false;
   };
 
   Network net_;
@@ -268,6 +340,31 @@ class Engine {
   std::uint64_t replay_mismatches_ = 0;
   bool partition_active_ = false;
   std::vector<std::uint8_t> partition_group_;  // per owner; absent = side 0
+
+  // Latency model state (DESIGN.md §8). inflight_[k] holds the delayed
+  // assignments due at the commit of the k-th next step(); the front bucket
+  // is drained into this round's commit before the freshly issued delay-0
+  // traffic. Buckets preserve emission order, so the committed sequence is
+  // deterministic across scheduler modes and thread counts.
+  LatencyModel latency_;
+  bool latency_installed_ = false;
+  /// Re-decided each step(): the routing pass only runs while it can matter
+  /// (nontrivial model, or a queue still draining after the model was
+  /// flattened). A trivial model with an empty queue reverts to the plain
+  /// pipeline -- no span recording, no routing walk.
+  bool latency_round_ = false;
+  /// Bumped by set_latency_model / assign_datacenters; invalidates the
+  /// per-cache delay-class memos.
+  std::uint64_t latency_epoch_ = 1;
+  std::vector<std::uint8_t> dc_of_owner_;  // per owner; absent = dc 0
+  std::deque<std::vector<DelayedOp>> inflight_;
+  std::size_t inflight_count_ = 0;
+  std::vector<DelayedOp> route_buf_;  // route_inflight scratch
+  // Per shard: (owner, op count) runs recording which peer emitted which
+  // contiguous span of the shard's op queue -- the sender is what selects
+  // the delay class. Only maintained while a latency model is installed.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      shard_op_src_;
   std::function<void(const RoundMetrics&)> observer_;
   RuleActivity activity_;
   std::vector<std::uint64_t> prev_state_;  // legacy_fixpoint only
@@ -347,6 +444,7 @@ class Engine {
   void wake_out_of_band();
   void apply_wakes();
   void compute_skip_set();
+  void route_inflight();
   void note_op_sender(std::uint32_t referenced, std::uint32_t sender);
   void rebuild_flow_indices();
 };

@@ -1,0 +1,51 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace rechord::core {
+
+LatencyModel::LatencyModel(std::size_t dc_count, std::vector<DelayClass> classes,
+                           std::uint64_t jitter_seed)
+    : dc_count_(std::clamp<std::size_t>(dc_count, 1, 256)),
+      classes_(std::move(classes)),
+      jitter_seed_(jitter_seed) {
+  assert(classes_.empty() || classes_.size() == dc_count_ * dc_count_);
+  classes_.resize(dc_count_ * dc_count_);
+  for (DelayClass& c : classes_) {
+    if (c.base > kMaxDeliveryDelay) c.base = kMaxDeliveryDelay;
+    if (c.base + c.jitter > kMaxDeliveryDelay)
+      c.jitter = static_cast<std::uint8_t>(kMaxDeliveryDelay - c.base);
+    max_delay_ = std::max<std::uint32_t>(max_delay_, c.base + c.jitter);
+  }
+}
+
+LatencyModel LatencyModel::uniform(std::size_t dc_count, DelayClass inter,
+                                   std::uint64_t jitter_seed) {
+  dc_count = std::clamp<std::size_t>(dc_count, 1, 256);
+  std::vector<DelayClass> classes(dc_count * dc_count, inter);
+  for (std::size_t d = 0; d < dc_count; ++d)
+    classes[d * dc_count + d] = DelayClass{};
+  return {dc_count, std::move(classes), jitter_seed};
+}
+
+std::uint32_t LatencyModel::delay(std::uint8_t src_dc, std::uint8_t dst_dc,
+                                  std::uint64_t round, std::uint32_t sender,
+                                  const DelayedOp& op) const noexcept {
+  const DelayClass& c = cls(src_dc, dst_dc);
+  std::uint32_t d = c.base;
+  if (c.jitter != 0) {
+    const std::uint64_t h = util::mix64(
+        jitter_seed_ ^
+        util::mix64(round * 0x9E3779B97F4A7C15ULL + sender) ^
+        util::mix64((static_cast<std::uint64_t>(op.target) << 32) |
+                    op.payload) ^
+        static_cast<std::uint64_t>(op.kind));
+    d += static_cast<std::uint32_t>(h % (c.jitter + 1u));
+  }
+  return d;
+}
+
+}  // namespace rechord::core

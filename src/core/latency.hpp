@@ -1,0 +1,93 @@
+#pragma once
+// Multi-datacenter latency model (DESIGN.md §8). Owners are assigned to
+// datacenter groups and every (source-dc, target-dc) pair carries a
+// *delivery-delay class*: a delayed assignment issued at round r commits at
+// round r+d instead of unconditionally at r (visible r+1), where d is the
+// class's fixed base plus a seeded per-message jitter draw. Delay class 0
+// for every pair reproduces the paper's synchronous model bit for bit --
+// the engine's in-flight queue stays empty and the commit pipeline is
+// byte-identical to the latency-free build (tests/test_scenario.cpp).
+//
+// Determinism contract: the jitter draw is a stateless hash of
+// (jitter_seed, issue round, sending owner, op fields), so a message's
+// delay never depends on thread count, scheduler mode, or the order in
+// which other peers emitted -- replayed emissions hash identically to live
+// ones. Delay classes are data, not code: scenarios install a model mid-run
+// (sim::SetLatencyModel) exactly like a fault window.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace rechord::core {
+
+/// Delivery delay of one (source-dc, target-dc) pair: `base` extra rounds,
+/// plus a per-message seeded draw uniform in [0, jitter].
+struct DelayClass {
+  std::uint8_t base = 0;
+  std::uint8_t jitter = 0;
+
+  /// True when a message on this pair can be delayed at all -- the
+  /// scheduler's skip rules key on this, not on a concrete draw, because
+  /// jitter re-rolls every round.
+  [[nodiscard]] constexpr bool nonzero() const noexcept {
+    return base != 0 || jitter != 0;
+  }
+  friend constexpr bool operator==(const DelayClass&,
+                                   const DelayClass&) noexcept = default;
+};
+
+/// Hard cap on a single message's delivery delay (bounds the engine's
+/// in-flight ring); classes beyond it are clamped at construction.
+inline constexpr std::uint32_t kMaxDeliveryDelay = 64;
+
+class LatencyModel {
+ public:
+  /// Trivial model: one datacenter, delay 0 everywhere.
+  LatencyModel() { classes_.resize(1); }
+
+  /// `classes` is the dc_count x dc_count matrix in row-major order
+  /// (classes[src * dc_count + dst]); empty means all-zero. Entries with
+  /// base + jitter > kMaxDeliveryDelay are clamped.
+  LatencyModel(std::size_t dc_count, std::vector<DelayClass> classes,
+               std::uint64_t jitter_seed = 0x1A7E9C1ED5EEDULL);
+
+  /// Convenience: delay 0 within a datacenter, `inter` between any two.
+  [[nodiscard]] static LatencyModel uniform(
+      std::size_t dc_count, DelayClass inter,
+      std::uint64_t jitter_seed = 0x1A7E9C1ED5EEDULL);
+
+  [[nodiscard]] std::size_t dc_count() const noexcept { return dc_count_; }
+  /// Delay class of one (source-dc, target-dc) pair. A datacenter index at
+  /// or beyond dc_count aliases to dc 0 -- deliberately, so installing a
+  /// SMALLER model over a wider assignment is well-defined: flattening a
+  /// WAN window installs the trivial 1-dc model while owners keep their
+  /// 2..k-dc groups, and all traffic falls back to the dc0 row (delay 0).
+  /// The flip side: a dcs mismatch between the assignment and the model
+  /// silently routes the extra datacenters' traffic via the dc0 classes,
+  /// so scenario authors must keep the two in sync for nontrivial models.
+  [[nodiscard]] const DelayClass& cls(std::uint8_t src_dc,
+                                      std::uint8_t dst_dc) const noexcept {
+    const std::size_t s = src_dc < dc_count_ ? src_dc : 0;
+    const std::size_t d = dst_dc < dc_count_ ? dst_dc : 0;
+    return classes_[s * dc_count_ + d];
+  }
+  /// Largest delay any message can draw (0 == the synchronous model).
+  [[nodiscard]] std::uint32_t max_delay() const noexcept { return max_delay_; }
+  [[nodiscard]] bool trivial() const noexcept { return max_delay_ == 0; }
+
+  /// Delivery delay (extra rounds) of one concrete message. Pure function of
+  /// its arguments -- see the determinism contract above.
+  [[nodiscard]] std::uint32_t delay(std::uint8_t src_dc, std::uint8_t dst_dc,
+                                    std::uint64_t round, std::uint32_t sender,
+                                    const DelayedOp& op) const noexcept;
+
+ private:
+  std::size_t dc_count_ = 1;
+  std::vector<DelayClass> classes_;  // dc_count^2, row-major
+  std::uint64_t jitter_seed_ = 0;
+  std::uint32_t max_delay_ = 0;
+};
+
+}  // namespace rechord::core

@@ -12,6 +12,15 @@ const char* event_name(const Event& e) {
       return "poisson-churn";
     }
     const char* operator()(const Scramble&) const { return "scramble"; }
+    const char* operator()(const CrashRestart&) const {
+      return "crash-restart";
+    }
+    const char* operator()(const AssignDatacenters&) const {
+      return "assign-datacenters";
+    }
+    const char* operator()(const SetLatencyModel&) const {
+      return "set-latency-model";
+    }
     const char* operator()(const SetMessageLoss&) const {
       return "set-message-loss";
     }

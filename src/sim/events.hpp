@@ -13,6 +13,9 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
+
+#include "core/latency.hpp"
 
 namespace rechord::sim {
 
@@ -54,6 +57,36 @@ struct PoissonChurn {
 /// Fuzzes the current state (random re-markings + garbage virtual nodes) in
 /// place -- the adversarial mid-run state corruption Theorem 1.1 must absorb.
 struct Scramble {};
+
+/// Crash-restart (rejoin with stale state, DESIGN.md §8): one uniformly
+/// random peer crashes, the overlay runs `down_rounds` rounds without it,
+/// then the peer re-enters with the edges it held at crash time. No-op when
+/// fewer than 4 peers are live (with exactly 4, the overlay runs the dark
+/// rounds at the 3-peer floor).
+struct CrashRestart {
+  std::uint64_t down_rounds = 2;
+};
+
+// -- multi-datacenter latency (DESIGN.md §8) ---------------------------------
+
+/// Assigns every live owner to one of `dcs` datacenter groups via a
+/// stateless hash of (scenario seed, owner id) -- deliberately NOT a draw
+/// from the event rng stream, so installing datacenter assignments never
+/// perturbs the rest of the schedule (the backbone of the zero-delay
+/// equivalence tests). Peers joining later inherit their contact's group.
+struct AssignDatacenters {
+  std::size_t dcs = 2;
+};
+
+/// Installs a delivery-delay model from the next round on: `classes` is the
+/// row-major dcs x dcs matrix of per-(source-dc, target-dc) delay classes
+/// (empty = all zero). Installing a trivial model (dcs = 1, empty classes)
+/// closes the latency window; messages already in flight still deliver at
+/// their scheduled rounds.
+struct SetLatencyModel {
+  std::size_t dcs = 1;
+  std::vector<core::DelayClass> classes;
+};
 
 // -- fault and partition windows --------------------------------------------
 
@@ -131,9 +164,10 @@ struct KvRebalance {};
 
 using Event =
     std::variant<JoinBurst, LeaveBurst, CrashBurst, MixedChurn, PoissonChurn,
-                 Scramble, SetMessageLoss, SetSleep, PartitionBegin,
-                 PartitionEnd, RunRounds, Checkpoint, AwaitAlmost, KvLoad,
-                 KvProbe, KvRebalance>;
+                 Scramble, CrashRestart, AssignDatacenters, SetLatencyModel,
+                 SetMessageLoss, SetSleep, PartitionBegin, PartitionEnd,
+                 RunRounds, Checkpoint, AwaitAlmost, KvLoad, KvProbe,
+                 KvRebalance>;
 
 /// Short kind name for logs and the per-round CSV ("join-burst", ...).
 [[nodiscard]] const char* event_name(const Event& e);

@@ -15,6 +15,7 @@
 
 #include "core/churn.hpp"
 #include "core/convergence.hpp"
+#include "core/latency.hpp"
 #include "core/spec.hpp"
 #include "gen/topologies.hpp"
 
@@ -181,6 +182,140 @@ TEST(ScenarioDeterminism, AllScenariosFingerprintEqualAcrossSchedulerModes) {
     // The active serial run must actually have used the scheduler.
     EXPECT_GT(ref.replayed_peer_rounds + ref.skipped_peer_rounds, 0U)
         << info.name;
+  }
+}
+
+// The zero-delay equivalence backbone of the latency subsystem (DESIGN.md
+// §8): with a latency model INSTALLED but every delay class 0, the routing
+// pass, the (empty) in-flight queue and the queue-gated fixpoint verdict
+// must be invisible -- every registered scenario produces the same round
+// counts, per-checkpoint fingerprints and fault counters as the plain
+// pipeline, across {active, full-scan} x {1, 8 threads}.
+TEST(LatencyEquivalence, ZeroDelayModelBitIdenticalForEveryScenario) {
+  for (const auto& info : scenario_registry()) {
+    ScenarioParams base;
+    base.n = 70;
+    base.seed = 7;
+    base.ops = 3;
+    const auto ref = run_registered_scenario(info.name, base);
+    EXPECT_TRUE(ref.ok) << info.name;
+    for (const bool full_scan : {false, true}) {
+      for (const unsigned threads : {1U, 8U}) {
+        ScenarioParams params = base;
+        params.engine.threads = threads;
+        params.engine.full_scan = full_scan;
+        Scenario sc = info.build(params);
+        sc.timeline.insert(
+            sc.timeline.begin(),
+            {Event{AssignDatacenters{.dcs = 3}},
+             Event{SetLatencyModel{
+                 .dcs = 3,
+                 .classes = std::vector<core::DelayClass>(9)}}});
+        const auto alt = run_scenario(sc, params);
+        ASSERT_EQ(alt.total_rounds, ref.total_rounds)
+            << info.name << " full_scan=" << full_scan
+            << " threads=" << threads;
+        ASSERT_EQ(alt.final_fingerprint, ref.final_fingerprint)
+            << info.name << " full_scan=" << full_scan
+            << " threads=" << threads;
+        ASSERT_EQ(alt.ok, ref.ok) << info.name;
+        ASSERT_EQ(alt.checkpoints.size(), ref.checkpoints.size()) << info.name;
+        for (std::size_t c = 0; c < ref.checkpoints.size(); ++c) {
+          ASSERT_EQ(alt.checkpoints[c].rounds, ref.checkpoints[c].rounds)
+              << info.name << " checkpoint " << c;
+          ASSERT_EQ(alt.checkpoints[c].fingerprint,
+                    ref.checkpoints[c].fingerprint)
+              << info.name << " checkpoint " << c;
+        }
+        EXPECT_EQ(alt.messages_dropped, ref.messages_dropped) << info.name;
+        EXPECT_EQ(alt.partition_dropped, ref.partition_dropped) << info.name;
+      }
+    }
+  }
+}
+
+// Same property at per-round granularity, engine-level: a zero-delay model
+// lockstepped against a plain engine through randomized churn must agree on
+// every round's fingerprint and fixpoint verdict, with the in-flight queue
+// structurally empty throughout.
+TEST(LatencyEquivalence, ZeroDelayPerRoundFingerprintsMatchPlainPipeline) {
+  for (const bool full_scan : {false, true}) {
+    for (const unsigned threads : {1U, 8U}) {
+      auto make = [&] {
+        util::Rng rng(29);
+        return core::Engine(
+            gen::make_network(gen::Topology::kRandomConnected, 64, rng),
+            {.threads = threads, .full_scan = full_scan});
+      };
+      core::Engine plain = make();
+      core::Engine modeled = make();
+      std::vector<std::uint8_t> dc(modeled.network().owner_count());
+      for (std::uint32_t o = 0; o < dc.size(); ++o) dc[o] = o % 3;
+      modeled.assign_datacenters(std::move(dc));
+      modeled.set_latency_model(core::LatencyModel(
+          3, std::vector<core::DelayClass>(9), /*jitter_seed=*/29));
+      util::Rng churn_rng(31);
+      for (int r = 0; r < 50; ++r) {
+        if (r > 0 && r % 7 == 0) {
+          const auto owners = plain.network().live_owners();
+          const std::uint32_t pick = owners[churn_rng.below(owners.size())];
+          if (churn_rng.below(2) == 0 || owners.size() <= 4) {
+            const core::RingPos id = churn_rng.next();
+            core::join(plain.network(), id, pick);
+            core::join(modeled.network(), id, pick);
+          } else {
+            core::crash(plain.network(), pick);
+            core::crash(modeled.network(), pick);
+          }
+        }
+        const auto mp = plain.step();
+        const auto mm = modeled.step();
+        ASSERT_EQ(modeled.inflight_message_count(), 0U) << "round " << r;
+        ASSERT_EQ(mm.changed, mp.changed)
+            << "full_scan=" << full_scan << " threads=" << threads
+            << " round " << r;
+        ASSERT_EQ(modeled.network().state_fingerprint(),
+                  plain.network().state_fingerprint())
+            << "full_scan=" << full_scan << " threads=" << threads
+            << " round " << r;
+      }
+    }
+  }
+}
+
+// Crash-restart (rejoin with stale pre-crash state): every convergence
+// checkpoint passes, the peer count is restored after each restart, and the
+// run is bit-identical serial vs 8-thread and active vs full scan.
+TEST(ScenarioCrashRestart, CheckpointsPassAndModeInvariant) {
+  ScenarioParams base;
+  base.n = 28;
+  base.seed = 5;
+  base.ops = 3;
+  std::vector<ScenarioOutcome> runs;
+  for (const bool full_scan : {false, true})
+    for (const unsigned threads : {1U, 8U}) {
+      ScenarioParams params = base;
+      params.engine.threads = threads;
+      params.engine.full_scan = full_scan;
+      runs.push_back(run_registered_scenario("crash-restart", params));
+    }
+  const auto& ref = runs.front();
+  ASSERT_TRUE(ref.ok);
+  ASSERT_EQ(ref.checkpoints.size(), base.ops + 1);
+  for (const auto& cp : ref.checkpoints) {
+    EXPECT_TRUE(cp.passed) << cp.label;
+    EXPECT_TRUE(cp.exact) << cp.label;
+    // crash + restart of the same peer: membership is restored in full.
+    EXPECT_EQ(cp.peers, base.n) << cp.label;
+  }
+  for (std::size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[v].total_rounds, ref.total_rounds) << "variant " << v;
+    ASSERT_EQ(runs[v].final_fingerprint, ref.final_fingerprint)
+        << "variant " << v;
+    for (std::size_t c = 0; c < ref.checkpoints.size(); ++c)
+      ASSERT_EQ(runs[v].checkpoints[c].fingerprint,
+                ref.checkpoints[c].fingerprint)
+          << "variant " << v << " checkpoint " << c;
   }
 }
 

@@ -30,7 +30,17 @@ void expect_same_metrics(const RoundMetrics& a, const RoundMetrics& b,
   ASSERT_EQ(a.unmarked_edges, b.unmarked_edges) << "round " << round;
   ASSERT_EQ(a.ring_edges, b.ring_edges) << "round " << round;
   ASSERT_EQ(a.connection_edges, b.connection_edges) << "round " << round;
+  ASSERT_EQ(a.inflight_messages, b.inflight_messages) << "round " << round;
   ASSERT_EQ(a.changed, b.changed) << "round " << round;
+}
+
+// Two datacenters by owner parity, fixed cross-dc delay of `delay` rounds.
+void install_latency(Engine& e, std::uint8_t delay) {
+  std::vector<std::uint8_t> dc(e.network().owner_count());
+  for (std::uint32_t o = 0; o < dc.size(); ++o) dc[o] = o % 2;
+  e.assign_datacenters(std::move(dc));
+  e.set_latency_model(
+      LatencyModel::uniform(2, DelayClass{delay, 0}, /*jitter_seed=*/5));
 }
 
 TEST(FaultRepro, FixedSeedReproducesDropsAndMetrics) {
@@ -69,6 +79,88 @@ TEST(FaultRepro, SerialAndThreadedAgreeUnderFaults) {
     ASSERT_EQ(a.network().state_fingerprint(), b.network().state_fingerprint())
         << "round " << r;
   }
+}
+
+// -- fault x latency interactions (DESIGN.md §8) -----------------------------
+
+// A fixed fault seed reproduces lossy runs bit for bit with a latency model
+// installed: the loss coin is drawn at DELIVERY time against the delivery
+// round's op sequence, which is itself deterministic.
+TEST(FaultRepro, LatencyPlusLossFixedSeedReproduces) {
+  const EngineOptions opt{.threads = 1,
+                          .message_loss = 0.2,
+                          .fault_seed = 0xFEEDFA11ULL};
+  Engine a(fresh(20, 68), opt);
+  Engine b(fresh(20, 68), opt);
+  install_latency(a, 2);
+  install_latency(b, 2);
+  std::uint64_t inflight_seen = 0;
+  for (int r = 0; r < 40; ++r) {
+    const auto ma = a.step();
+    const auto mb = b.step();
+    expect_same_metrics(ma, mb, r);
+    inflight_seen += a.inflight_message_count();
+    ASSERT_EQ(a.inflight_message_count(), b.inflight_message_count())
+        << "round " << r;
+    ASSERT_EQ(a.messages_dropped(), b.messages_dropped()) << "round " << r;
+    ASSERT_EQ(a.network().state_fingerprint(), b.network().state_fingerprint())
+        << "round " << r;
+  }
+  EXPECT_GT(a.messages_dropped(), 0U);
+  EXPECT_GT(inflight_seen, 0U);  // the queue must actually have been used
+}
+
+// Message loss applies at delivery, not issue: messages sent BEFORE the loss
+// window opens are still subject to the coin when they come due inside it.
+// With p = 1 every delivery drops, so the drop counter must move on the very
+// first windowed round even though nothing was issued during the window.
+TEST(FaultRepro, MessageLossAppliesAtDeliveryTime) {
+  Engine e(fresh(24, 69), {});
+  install_latency(e, 3);
+  for (int r = 0; r < 8; ++r) e.step();  // fill the cross-dc pipeline
+  ASSERT_GT(e.inflight_message_count(), 0U);
+  const std::uint64_t before = e.messages_dropped();
+  e.set_message_loss(1.0);
+  e.step();
+  EXPECT_GT(e.messages_dropped(), before);
+}
+
+// Partition cuts apply at delivery too: messages in flight across the cut
+// when the partition begins are dropped when they come due, counted in
+// partition_dropped() -- and the whole interaction is mode-independent and
+// reproducible under a fixed seed.
+TEST(FaultRepro, PartitionDropsInFlightMessagesAtDeliveryTime) {
+  auto run_once = [](bool full_scan) {
+    Engine e(fresh(30, 70), {.full_scan = full_scan});
+    install_latency(e, 3);
+    for (int r = 0; r < 8; ++r) e.step();  // cross-dc traffic in flight
+    EXPECT_GT(e.inflight_message_count(), 0U);
+    EXPECT_EQ(e.partition_dropped(), 0U);
+    // Cut exactly along the datacenter boundary: every in-flight message is
+    // cross-dc (intra-dc delay is 0), so every due delivery in the first
+    // windowed round was issued BEFORE the partition began.
+    std::vector<std::uint8_t> group(e.network().owner_count(), 0);
+    for (std::uint32_t o = 0; o < group.size(); ++o) group[o] = o % 2;
+    e.set_partition(std::move(group));
+    e.step();
+    EXPECT_GT(e.partition_dropped(), 0U)
+        << "in-flight cross-cut messages not dropped at delivery";
+    for (int r = 0; r < 4; ++r) e.step();
+    struct Result {
+      std::uint64_t partition_dropped, fingerprint;
+      std::size_t inflight;
+    };
+    return Result{e.partition_dropped(), e.network().state_fingerprint(),
+                  e.inflight_message_count()};
+  };
+  const auto active = run_once(false);
+  const auto active2 = run_once(false);
+  const auto full = run_once(true);
+  EXPECT_EQ(active.partition_dropped, active2.partition_dropped);
+  EXPECT_EQ(active.fingerprint, active2.fingerprint);
+  EXPECT_EQ(active.partition_dropped, full.partition_dropped);
+  EXPECT_EQ(active.fingerprint, full.fingerprint);
+  EXPECT_EQ(active.inflight, full.inflight);
 }
 
 TEST(Tracking, ResetAfterChurnPreventsSpuriousFixpoint) {
