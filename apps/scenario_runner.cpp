@@ -52,6 +52,33 @@ void print_outcome(const sim::ScenarioOutcome& out) {
                 out.workload.stale_misses, out.workload.lost_misses,
                 out.workload.mean_hops(), out.workload.max_lost_records);
   }
+  if (out.requests.issued > 0) {
+    const auto& rq = out.requests;
+    std::printf(
+        "requests: %llu issued, %llu resolved (mean %.2f hops, mean %.2f "
+        "rounds in flight, max %llu), %llu failed "
+        "(%llu stale / %llu partition / %llu timeout)\n"
+        "          gets: %llu found, %llu stale-miss, %llu lost-miss; "
+        "bounces: %llu loss / %llu partition / %llu dead-hop; "
+        "%llu custody failovers; %llu mono violations; fingerprint %016llx\n",
+        static_cast<unsigned long long>(rq.issued),
+        static_cast<unsigned long long>(rq.resolved), rq.mean_hops(),
+        rq.mean_rounds_in_flight(),
+        static_cast<unsigned long long>(rq.max_rounds_in_flight),
+        static_cast<unsigned long long>(rq.failed()),
+        static_cast<unsigned long long>(rq.failed_stale),
+        static_cast<unsigned long long>(rq.failed_partition),
+        static_cast<unsigned long long>(rq.failed_timeout),
+        static_cast<unsigned long long>(rq.gets_found),
+        static_cast<unsigned long long>(rq.gets_stale_miss),
+        static_cast<unsigned long long>(rq.gets_lost_miss),
+        static_cast<unsigned long long>(rq.loss_bounces),
+        static_cast<unsigned long long>(rq.partition_bounces),
+        static_cast<unsigned long long>(rq.dead_hop_bounces),
+        static_cast<unsigned long long>(rq.custody_failovers),
+        static_cast<unsigned long long>(rq.mono_violations),
+        static_cast<unsigned long long>(rq.fingerprint));
+  }
   if (out.messages_dropped + out.partition_dropped > 0)
     std::printf("faults: %llu messages lost, %llu dropped at partition cut\n",
                 static_cast<unsigned long long>(out.messages_dropped),

@@ -14,11 +14,9 @@ namespace {
 // Deterministic per-(seed, round, index) coin with probability p.
 bool fault_coin(std::uint64_t seed, std::uint64_t round, std::uint64_t index,
                 double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  const std::uint64_t h =
-      util::mix64(seed ^ util::mix64(round * 0x9E3779B97F4A7C15ULL + index));
-  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+  return util::hash_coin(
+      util::mix64(seed ^ util::mix64(round * 0x9E3779B97F4A7C15ULL + index)),
+      p);
 }
 }  // namespace
 
@@ -77,6 +75,26 @@ std::vector<std::uint32_t> Engine::inflight_referenced_owners() const {
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::vector<std::uint32_t> Engine::inflight_refcount_owners() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t o : inflight_ref_owners_)
+    if (inflight_refs_[o] > 0) out.push_back(o);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Engine::inflight_ref_add(std::uint32_t owner) {
+  if (inflight_refs_.size() <= owner) {
+    inflight_refs_.resize(owner + 1, 0);
+    inflight_ref_listed_.resize(owner + 1, 0);
+  }
+  ++inflight_refs_[owner];
+  if (!inflight_ref_listed_[owner]) {
+    inflight_ref_listed_[owner] = 1;
+    inflight_ref_owners_.push_back(owner);
+  }
 }
 
 void Engine::set_partition(std::vector<std::uint8_t> group_of_owner) {
@@ -256,18 +274,28 @@ void Engine::compute_skip_set() {
   // Latency rules (DESIGN.md §8). (3) In-flight traffic pins its endpoints:
   // an owner referenced (target or payload) by a queued delayed assignment
   // receives -- or resolves -- a delivery the full scan also performs, so it
-  // must at least replay until the queue no longer references it. (4) A
-  // candidate whose cached ops travel on a nonzero delay class must replay,
-  // not skip: skipping would stop its emissions from entering the queue,
-  // and the active-mode queue would diverge from the full scan's (the
-  // queue's emptiness gates fixpoint detection). Keyed on the CLASS being
-  // nonzero, not a concrete draw -- jitter re-rolls every round.
-  if (inflight_count_ > 0)
-    for (const auto& bucket : inflight_)
-      for (const DelayedOp& op : bucket) {
-        evict(owner_of(op.target));
-        evict(owner_of(op.payload));
+  // must at least replay until the queue no longer references it. The scan
+  // walks the per-owner refcounts maintained at enqueue/drain -- O(owners
+  // referenced by the queue) -- rather than every queued message, and
+  // compacts drained-out entries in passing (entries whose refcount hit 0
+  // since the last scan). (4) A candidate whose cached ops travel on a
+  // nonzero delay class must replay, not skip: skipping would stop its
+  // emissions from entering the queue, and the active-mode queue would
+  // diverge from the full scan's (the queue's emptiness gates fixpoint
+  // detection). Keyed on the CLASS being nonzero, not a concrete draw --
+  // jitter re-rolls every round.
+  {
+    std::size_t w = 0;
+    for (const std::uint32_t o : inflight_ref_owners_) {
+      if (inflight_refs_[o] == 0) {
+        inflight_ref_listed_[o] = 0;
+        continue;
       }
+      inflight_ref_owners_[w++] = o;
+      evict(o);
+    }
+    inflight_ref_owners_.resize(w);
+  }
   if (latency_installed_ && !latency_.trivial())
     for (std::uint32_t o = 0; o < n; ++o) {
       if (!skip_[o]) continue;
@@ -574,6 +602,10 @@ void Engine::route_inflight() {
     route_buf_.swap(inflight_.front());
     inflight_.pop_front();
     inflight_count_ -= route_buf_.size();
+    for (const DelayedOp& op : route_buf_) {
+      inflight_ref_sub(owner_of(op.target));
+      inflight_ref_sub(owner_of(op.payload));
+    }
   }
   std::size_t idx = 0;
   for (const auto& spans : shard_op_src_)
@@ -590,6 +622,8 @@ void Engine::route_inflight() {
         while (inflight_.size() < d) inflight_.emplace_back();
         inflight_[d - 1].push_back(op);
         ++inflight_count_;
+        inflight_ref_add(owner_of(op.target));
+        inflight_ref_add(owner_of(op.payload));
       }
     }
   assert(idx == ops_.size());
@@ -798,7 +832,23 @@ RoundMetrics Engine::step() {
         net_.consume_round_changes(&changed_owners_, &published_owners_);
     apply_wakes();
   } else {
-    mt.changed = net_.consume_round_changes();
+    // Full scan also collects the changed-owner list -- not for wakes (there
+    // are none), but so the per-datacenter change flags below stay available
+    // in every non-legacy mode.
+    changed_owners_.clear();
+    published_owners_.clear();
+    mt.changed =
+        net_.consume_round_changes(&changed_owners_, &published_owners_);
+  }
+  if (!dc_of_owner_.empty() && !opt_.legacy_fixpoint) {
+    // Which datacenters moved this round (per-dc convergence lag, scenario
+    // CSV). Derived from the digest-level changed-owner list, a pure state
+    // property -- identical across scheduler modes and thread counts.
+    mt.dc_count = static_cast<std::uint32_t>(dc_max_) + 1;
+    for (const std::uint32_t o : changed_owners_) {
+      const std::uint8_t d = datacenter_of(o);
+      mt.dc_changed_bits[d >> 6] |= std::uint64_t{1} << (d & 63);
+    }
   }
   // In-flight messages are pending state changes: a round that left the
   // latency queue non-empty is never a fixpoint, even when no digest moved

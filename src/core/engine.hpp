@@ -34,6 +34,8 @@
 // EngineOptions::full_scan), serial and sharded, which
 // tests/test_scheduler.cpp asserts.
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -75,6 +77,19 @@ struct RoundMetrics {
   /// Delayed assignments still in the latency model's in-flight queue at the
   /// end of the round (0 without a nontrivial model, DESIGN.md §8).
   std::size_t inflight_messages = 0;
+  /// Per-datacenter change flags: dc_changed(d) iff some owner assigned to
+  /// datacenter d changed state this round, valid for d < dc_count.
+  /// dc_count stays 0 unless datacenters are assigned (and under
+  /// legacy_fixpoint, which has no per-owner change lists). A pure state
+  /// property, so identical across scheduler modes and thread counts -- the
+  /// scenario CSV derives its per-dc convergence-lag column from it. An
+  /// inline 256-bit set (the dc id domain), not a vector: RoundMetrics is
+  /// copied per round by observers and must stay allocation-free.
+  std::uint32_t dc_count = 0;
+  std::array<std::uint64_t, 4> dc_changed_bits{};
+  [[nodiscard]] bool dc_changed(std::uint8_t d) const noexcept {
+    return (dc_changed_bits[d >> 6] >> (d & 63)) & 1;
+  }
   /// True when this round changed the global state (fixpoint detector). With
   /// a latency model installed, a round with in-flight messages is never a
   /// fixpoint: the queued deliveries are pending state changes.
@@ -216,6 +231,15 @@ class Engine {
   [[nodiscard]] std::uint64_t partition_dropped() const noexcept {
     return partition_dropped_;
   }
+  /// True when the active partition separates owners `a` and `b`. The
+  /// request engine (net/request_engine.hpp) shares the cut with the
+  /// protocol's delayed assignments through this -- a lookup hop across the
+  /// partition is dropped at delivery exactly like a protocol message.
+  [[nodiscard]] bool partition_cut_owners(std::uint32_t a,
+                                          std::uint32_t b) const noexcept {
+    if (!partition_active_) return false;
+    return partition_side(a) != partition_side(b);
+  }
 
   // -- multi-datacenter latency model (DESIGN.md §8) ------------------------
   //
@@ -249,6 +273,8 @@ class Engine {
   /// Peers joining later through join_peer inherit their contact's group.
   void assign_datacenters(std::vector<std::uint8_t> dc_of_owner) {
     dc_of_owner_ = std::move(dc_of_owner);
+    dc_max_ = 0;
+    for (const std::uint8_t d : dc_of_owner_) dc_max_ = std::max(dc_max_, d);
     ++latency_epoch_;
   }
   [[nodiscard]] std::uint8_t datacenter_of(std::uint32_t owner) const noexcept {
@@ -260,8 +286,14 @@ class Engine {
   }
   /// Sorted unique owners referenced (target or payload) by an in-flight
   /// message -- exactly the owners the next step() must keep out of the
-  /// resting-skip set (test instrumentation).
+  /// resting-skip set (test instrumentation). Derived by walking the queue.
   [[nodiscard]] std::vector<std::uint32_t> inflight_referenced_owners() const;
+  /// The same set derived from the per-owner in-flight refcounts that the
+  /// skip rule-(3) eviction scan actually uses (maintained at enqueue/drain,
+  /// O(referenced owners) per round instead of O(queue)). Must always equal
+  /// inflight_referenced_owners() -- the scheduler lockstep tests assert the
+  /// equivalence.
+  [[nodiscard]] std::vector<std::uint32_t> inflight_refcount_owners() const;
   /// True when `owner` was skipped as resting by the most recent step()
   /// (test instrumentation).
   [[nodiscard]] bool owner_was_skipped(std::uint32_t owner) const noexcept {
@@ -357,8 +389,19 @@ class Engine {
   /// per-cache delay-class memos.
   std::uint64_t latency_epoch_ = 1;
   std::vector<std::uint8_t> dc_of_owner_;  // per owner; absent = dc 0
+  std::uint8_t dc_max_ = 0;                // largest assigned datacenter id
   std::deque<std::vector<DelayedOp>> inflight_;
   std::size_t inflight_count_ = 0;
+  // Per-owner count of queued messages referencing the owner (target or
+  // payload), maintained at enqueue and drain so the skip rule-(3) eviction
+  // scan touches only the owners a queued message actually references
+  // instead of re-walking the whole queue every round (DESIGN.md §8.2).
+  // inflight_ref_owners_ lists the owners ever referenced since the last
+  // compaction (inflight_ref_listed_ deduplicates entries); compute_skip_set
+  // compacts it by dropping zero-refcount entries.
+  std::vector<std::uint32_t> inflight_refs_;
+  std::vector<std::uint8_t> inflight_ref_listed_;
+  std::vector<std::uint32_t> inflight_ref_owners_;
   std::vector<DelayedOp> route_buf_;  // route_inflight scratch
   // Per shard: (owner, op count) runs recording which peer emitted which
   // contiguous span of the shard's op queue -- the sender is what selects
@@ -427,13 +470,16 @@ class Engine {
            opt_.message_loss <= 0.0 && !partition_active_ &&
            !opt_.paranoid_replay;
   }
+  [[nodiscard]] std::uint8_t partition_side(std::uint32_t o) const noexcept {
+    return o < partition_group_.size() ? partition_group_[o] : 0;
+  }
   /// True when the active partition separates the two slots' owners.
   [[nodiscard]] bool partition_cut(Slot a, Slot b) const noexcept {
-    const std::uint32_t oa = owner_of(a), ob = owner_of(b);
-    const auto side = [this](std::uint32_t o) -> std::uint8_t {
-      return o < partition_group_.size() ? partition_group_[o] : 0;
-    };
-    return side(oa) != side(ob);
+    return partition_side(owner_of(a)) != partition_side(owner_of(b));
+  }
+  void inflight_ref_add(std::uint32_t owner);
+  void inflight_ref_sub(std::uint32_t owner) noexcept {
+    --inflight_refs_[owner];
   }
   void run_peers();
   void run_range(std::size_t begin, std::size_t end,

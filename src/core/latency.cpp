@@ -35,17 +35,14 @@ std::uint32_t LatencyModel::delay(std::uint8_t src_dc, std::uint8_t dst_dc,
                                   std::uint64_t round, std::uint32_t sender,
                                   const DelayedOp& op) const noexcept {
   const DelayClass& c = cls(src_dc, dst_dc);
-  std::uint32_t d = c.base;
-  if (c.jitter != 0) {
-    const std::uint64_t h = util::mix64(
-        jitter_seed_ ^
-        util::mix64(round * 0x9E3779B97F4A7C15ULL + sender) ^
-        util::mix64((static_cast<std::uint64_t>(op.target) << 32) |
-                    op.payload) ^
-        static_cast<std::uint64_t>(op.kind));
-    d += static_cast<std::uint32_t>(h % (c.jitter + 1u));
-  }
-  return d;
+  if (c.jitter == 0) return c.base;
+  const std::uint64_t h = util::mix64(
+      jitter_seed_ ^
+      util::mix64(round * 0x9E3779B97F4A7C15ULL + sender) ^
+      util::mix64((static_cast<std::uint64_t>(op.target) << 32) |
+                  op.payload) ^
+      static_cast<std::uint64_t>(op.kind));
+  return c.draw(h);
 }
 
 }  // namespace rechord::core

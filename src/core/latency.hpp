@@ -22,17 +22,41 @@
 
 namespace rechord::core {
 
+/// Shape of the per-message jitter draw of a DelayClass.
+enum class JitterKind : std::uint8_t {
+  /// Uniform in [0, jitter] extra rounds (the original distribution).
+  kUniform = 0,
+  /// Two-point "spike": 0 extra rounds with probability
+  /// (100 - spike_percent)%, the full `jitter` with probability
+  /// spike_percent% -- a link that is usually at its base delay but
+  /// occasionally hiccups by a fixed amount (tail-latency modeling).
+  kSpike = 1,
+};
+
 /// Delivery delay of one (source-dc, target-dc) pair: `base` extra rounds,
-/// plus a per-message seeded draw uniform in [0, jitter].
+/// plus a per-message seeded jitter draw (see JitterKind).
 struct DelayClass {
   std::uint8_t base = 0;
   std::uint8_t jitter = 0;
+  JitterKind kind = JitterKind::kUniform;
+  /// Spike probability in percent (kSpike only; ignored for kUniform).
+  std::uint8_t spike_percent = 10;
 
   /// True when a message on this pair can be delayed at all -- the
   /// scheduler's skip rules key on this, not on a concrete draw, because
   /// jitter re-rolls every round.
   [[nodiscard]] constexpr bool nonzero() const noexcept {
     return base != 0 || jitter != 0;
+  }
+  /// Delay drawn from this class given a uniform 64-bit hash `h`. Both
+  /// distributions read only `h`, so the caller's hash recipe (not the
+  /// class) is what fixes the determinism contract. Shared by the engine's
+  /// delayed-assignment routing and the request engine's hop delays.
+  [[nodiscard]] constexpr std::uint32_t draw(std::uint64_t h) const noexcept {
+    if (jitter == 0) return base;
+    if (kind == JitterKind::kSpike)
+      return base + (h % 100u < spike_percent ? jitter : 0u);
+    return base + static_cast<std::uint32_t>(h % (jitter + 1u));
   }
   friend constexpr bool operator==(const DelayClass&,
                                    const DelayClass&) noexcept = default;

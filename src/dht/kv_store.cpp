@@ -151,6 +151,37 @@ void KvStore::drop(std::uint32_t crashed_owner) {
   if (crashed_owner < storage_.size()) storage_[crashed_owner].clear();
 }
 
+void KvStore::put_at(std::uint32_t owner, std::string_view key,
+                     std::string value) {
+  const core::RingPos h = ident::hash_name(key);
+  Record rec{std::string(key), std::move(value), ++version_clock_};
+  registry_[rec.key] = h;
+  store_copy(owner, h, std::move(rec));
+}
+
+const std::string* KvStore::get_at(std::uint32_t owner,
+                                   std::string_view key) const {
+  if (owner >= storage_.size()) return nullptr;
+  const core::RingPos h = ident::hash_name(key);
+  const auto it = storage_[owner].find(h);
+  if (it == storage_[owner].end() || it->second.key != key) return nullptr;
+  return &it->second.value;
+}
+
+bool KvStore::any_live_copy(std::string_view key,
+                            const core::Network& net) const {
+  const core::RingPos h = ident::hash_name(key);
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(std::min<std::size_t>(storage_.size(),
+                                                       net.owner_count()));
+  for (std::uint32_t owner = 0; owner < n; ++owner) {
+    if (!net.owner_alive(owner)) continue;
+    const auto it = storage_[owner].find(h);
+    if (it != storage_[owner].end() && it->second.key == key) return true;
+  }
+  return false;
+}
+
 std::size_t KvStore::total_records() const {
   std::size_t n = 0;
   for (const auto& per_owner : storage_) n += per_owner.size();

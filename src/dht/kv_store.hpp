@@ -95,6 +95,25 @@ class KvStore {
   /// Crash, data plane: the peer's replica is lost.
   void drop(std::uint32_t crashed_owner);
 
+  // -- hop-by-hop data plane (net/request_engine.hpp) -----------------------
+  //
+  // The request engine routes over the live overlay round by round and
+  // supplies the owner it actually reached; these primitives store/fetch
+  // directly at that owner, without a routing snapshot. Records stored here
+  // share the registry and replica maps with the snapshot paths, so
+  // rebalance()/handoff()/lost_keys() account for them identically.
+
+  /// Stores (key, value) at `owner` (a single copy; replication happens via
+  /// later rebalance, or naturally when a successor already holds a copy).
+  void put_at(std::uint32_t owner, std::string_view key, std::string value);
+  /// The value stored at `owner` under `key`, or nullptr.
+  [[nodiscard]] const std::string* get_at(std::uint32_t owner,
+                                          std::string_view key) const;
+  /// True when any owner alive in `net` holds a copy of `key` -- the
+  /// stale-miss vs lost-record classifier for hop-by-hop gets.
+  [[nodiscard]] bool any_live_copy(std::string_view key,
+                                   const core::Network& net) const;
+
   // -- introspection -------------------------------------------------------
 
   /// Number of (key, replica) records currently stored.

@@ -1,0 +1,389 @@
+#include "net/request_engine.hpp"
+
+#include <algorithm>
+
+#include "dht/kv_store.hpp"
+#include "ident/hashing.hpp"
+#include "ident/ring_pos.hpp"
+#include "util/rng.hpp"
+
+namespace rechord::net {
+
+namespace {
+constexpr std::uint32_t kNoOwner = UINT32_MAX;
+constexpr std::uint64_t kSaltDelay = 0xDE1A11ULL;
+constexpr std::uint64_t kSaltLoss = 0x10551ULL;
+}  // namespace
+
+const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kInFlight: return "in-flight";
+    case RequestStatus::kResolved: return "resolved";
+    case RequestStatus::kFailedStaleRouting: return "stale-routing";
+    case RequestStatus::kFailedPartitionLost: return "partition-lost";
+    case RequestStatus::kFailedTimeout: return "timeout";
+  }
+  return "?";
+}
+
+const char* request_kind_name(RequestKind k) {
+  switch (k) {
+    case RequestKind::kLookup: return "lookup";
+    case RequestKind::kKvPut: return "kv-put";
+    case RequestKind::kKvGet: return "kv-get";
+  }
+  return "?";
+}
+
+RequestEngine::RequestEngine(core::Engine& engine, RequestOptions opt)
+    : engine_(engine), opt_(opt), round_(engine.rounds_executed()) {
+  if (opt_.hop_cap == 0) opt_.hop_cap = 1;
+  if (opt_.ttl_rounds == 0) opt_.ttl_rounds = 1;
+}
+
+std::uint64_t RequestEngine::hop_hash(std::uint64_t id, std::uint32_t attempt,
+                                      std::uint64_t salt) const noexcept {
+  return util::mix64(opt_.seed ^ salt ^
+                     util::mix64(id * 0x9E3779B97F4A7C15ULL + attempt));
+}
+
+std::uint64_t RequestEngine::submit(RequestKind kind, RingPos key,
+                                    std::uint32_t origin, std::string kv_key,
+                                    std::string kv_value) {
+  Request q;
+  q.id = reqs_.size();
+  q.kind = kind;
+  q.key = key;
+  q.issue_round = engine_.rounds_executed();
+  q.origin = origin;
+  q.custody = origin;
+  q.kv_key = std::move(kv_key);
+  q.kv_value = std::move(kv_value);
+  const std::uint64_t id = q.id;
+  reqs_.push_back(std::move(q));
+  active_.push_back(id);
+  ++totals_.issued;
+  return id;
+}
+
+std::uint64_t RequestEngine::submit_lookup(RingPos key, std::uint32_t origin) {
+  return submit(RequestKind::kLookup, key, origin, {}, {});
+}
+
+std::uint64_t RequestEngine::submit_put(std::string key, std::string value,
+                                        std::uint32_t origin) {
+  const RingPos h = ident::hash_name(key);
+  return submit(RequestKind::kKvPut, h, origin, std::move(key),
+                std::move(value));
+}
+
+std::uint64_t RequestEngine::submit_get(std::string key,
+                                        std::uint32_t origin) {
+  const RingPos h = ident::hash_name(key);
+  return submit(RequestKind::kKvGet, h, origin, std::move(key), {});
+}
+
+std::optional<std::uint32_t> RequestEngine::custody_of(
+    std::uint64_t id) const {
+  if (id >= reqs_.size()) return std::nullopt;
+  const Request& q = reqs_[id];
+  if (q.status != RequestStatus::kInFlight) return std::nullopt;
+  return q.custody;
+}
+
+void RequestEngine::collect_neighbors(std::uint32_t owner) {
+  // The per-owner row of the real projection (§2.2), read from the CURRENT
+  // edge sets: live owners reachable over any live slot's unmarked/ring
+  // edges to real slots. normalize() ran at the end of the round, so no
+  // target references a dead owner here -- dead next-hops are only ever
+  // observed by hops already in flight when the owner died.
+  nbrs_.clear();
+  const core::Network& net = engine_.network();
+  for (std::uint32_t i = 0; i < core::kSlotsPerOwner; ++i) {
+    const core::Slot s = core::slot_of(owner, i);
+    if (!net.alive(s)) continue;
+    for (const core::EdgeKind k :
+         {core::EdgeKind::kUnmarked, core::EdgeKind::kRing}) {
+      for (const core::Slot t : net.edges(s, k)) {
+        if (!core::is_real_slot(t) || !net.alive(t)) continue;
+        const std::uint32_t w = core::owner_of(t);
+        if (w != owner) nbrs_.push_back(w);
+      }
+    }
+  }
+  std::sort(nbrs_.begin(), nbrs_.end());
+  nbrs_.erase(std::unique(nbrs_.begin(), nbrs_.end()), nbrs_.end());
+}
+
+void RequestEngine::launch_hop(Request& q, std::uint32_t next) {
+  ++q.attempt;
+  std::uint32_t extra = 0;
+  if (engine_.latency_installed()) {
+    const core::DelayClass& cls = engine_.latency_model().cls(
+        engine_.datacenter_of(q.custody), engine_.datacenter_of(next));
+    if (cls.nonzero())
+      extra = cls.draw(hop_hash(q.id, q.attempt, kSaltDelay));
+  }
+  q.hop_to = next;
+  q.hop_inflight = true;
+  while (due_.size() <= extra) due_.emplace_back();
+  due_[extra].push_back(q.id);
+}
+
+void RequestEngine::bounce(Request& q, Obstruction obs) {
+  ++q.retries;
+  q.obstruction = obs;
+  q.avoid = q.hop_to;
+  q.hop_to = kNoOwner;
+  switch (obs) {
+    case kObsLoss: ++totals_.loss_bounces; break;
+    case kObsPartition: ++totals_.partition_bounces; break;
+    case kObsDead: ++totals_.dead_hop_bounces; break;
+    default: break;
+  }
+  // The sender itself may have died while the hop was in flight.
+  if (!engine_.network().owner_alive(q.custody)) custody_failover(q);
+}
+
+void RequestEngine::custody_failover(Request& q) {
+  ++totals_.custody_failovers;
+  ++q.retries;
+  if (!engine_.network().owner_alive(q.origin)) {
+    fail(q, RequestStatus::kFailedTimeout);
+    return;
+  }
+  q.custody = q.origin;
+  q.phase = kForward;
+  q.avoid = kNoOwner;
+}
+
+void RequestEngine::deliver(Request& q) {
+  if (q.status != RequestStatus::kInFlight) return;
+  const std::uint32_t to = q.hop_to;
+  q.hop_inflight = false;
+  // Delivery-time checks, mirroring the engine's commit pipeline: the loss
+  // coin and the partition cut apply against the state of the DELIVERY
+  // round, and a next-hop that died mid-flight is detected here.
+  if (util::hash_coin(hop_hash(q.id, q.attempt, kSaltLoss),
+                      engine_.options().message_loss)) {
+    bounce(q, kObsLoss);
+    return;
+  }
+  if (engine_.partition_cut_owners(q.custody, to)) {
+    bounce(q, kObsPartition);
+    return;
+  }
+  if (!engine_.network().owner_alive(to)) {
+    bounce(q, kObsDead);
+    return;
+  }
+  q.custody = to;
+  q.hop_to = kNoOwner;
+  q.avoid = kNoOwner;
+  q.obstruction = kObsNone;
+  ++q.hops;
+}
+
+void RequestEngine::route(Request& q) {
+  // Budget first: a request past its TTL or hop cap fails, classified by
+  // what last stood in its way.
+  if (round_ - q.issue_round >= opt_.ttl_rounds || q.hops >= opt_.hop_cap) {
+    switch (q.obstruction) {
+      case kObsStale: fail(q, RequestStatus::kFailedStaleRouting); return;
+      case kObsPartition: fail(q, RequestStatus::kFailedPartitionLost); return;
+      default: fail(q, RequestStatus::kFailedTimeout); return;
+    }
+  }
+  const core::Network& net = engine_.network();
+  // A request parked on a crashed owner re-routes from its origin instead
+  // of hanging (one round of "timeout detection" latency).
+  if (!net.owner_alive(q.custody)) {
+    custody_failover(q);
+    return;
+  }
+  const RingPos cur = net.owner_pos(q.custody);
+  if (ident::cw_dist(cur, q.key) == 0) {  // custody sits exactly at the key
+    complete(q);
+    return;
+  }
+  collect_neighbors(q.custody);
+  if (nbrs_.empty()) {
+    ++q.retries;
+    q.obstruction = kObsStale;
+    return;
+  }
+  // NOTE(no-ownership-shortcut): a Re-Chord peer has NO reliable leftward
+  // pointer -- even at the exact fixpoint a real slot's published rl can be
+  // invalid (the region behind a node is covered by its predecessors'
+  // virtual chains, not by its own state), and the projection need not
+  // contain a predecessor edge. Chord's local "key in (pred, self]"
+  // ownership test is therefore unsound here; an edge-derived predecessor
+  // estimate can sit half a ring away and swallow foreign keys. Instead a
+  // request ALWAYS routes forward and completes from the predecessor side:
+  // the settle phase ends exactly when the custody owner is the closest
+  // known clockwise successor of the key. A key just behind its origin
+  // takes the trip around the ring, like Chord without predecessor
+  // pointers -- O(log n) finger hops, each a real round.
+  //
+  // Next-hop selection. When the last hop bounced (avoid), a first pass
+  // excludes it -- the re-route the dead-hop/partition detection promises --
+  // and a second pass re-admits it if the exclusion left no usable
+  // candidate: retrying the obstructed hop beats reporting a stale dead end.
+  const bool avoid_present =
+      q.avoid != kNoOwner &&
+      std::binary_search(nbrs_.begin(), nbrs_.end(), q.avoid);
+  for (int pass = avoid_present ? 0 : 1; pass < 2; ++pass) {
+    const bool exclude_avoid = pass == 0;
+    if (q.phase == kForward) {
+      const RingPos d_h = ident::cw_dist(cur, q.key);
+      std::uint32_t best = kNoOwner, succ = kNoOwner;
+      RingPos best_d = 0, succ_d = 0;
+      for (const std::uint32_t w : nbrs_) {
+        if (exclude_avoid && w == q.avoid) continue;
+        const RingPos d_w = ident::cw_dist(cur, net.owner_pos(w));
+        if (d_w == 0) continue;
+        if (d_w < d_h) {
+          if (best == kNoOwner || d_w > best_d) {
+            best = w;
+            best_d = d_w;
+          }
+        } else if (succ == kNoOwner || d_w < succ_d) {
+          succ = w;
+          succ_d = d_w;
+        }
+      }
+      if (best != kNoOwner) {
+        launch_hop(q, best);  // clockwise progress, not passing the key
+        return;
+      }
+      if (succ != kNoOwner) {
+        q.phase = kSettle;  // first known owner at/after the key
+        launch_hop(q, succ);
+        return;
+      }
+    } else {
+      // Settle: strictly closer clockwise successors of the key only.
+      std::uint32_t best = kNoOwner;
+      RingPos best_d = ident::cw_dist(q.key, cur);
+      for (const std::uint32_t w : nbrs_) {
+        if (exclude_avoid && w == q.avoid) continue;
+        const RingPos d_w = ident::cw_dist(q.key, net.owner_pos(w));
+        if (d_w < best_d) {
+          best = w;
+          best_d = d_w;
+        }
+      }
+      if (best != kNoOwner) {
+        launch_hop(q, best);
+        return;
+      }
+      if (!exclude_avoid) {
+        complete(q);  // no neighbor beats the custody owner
+        return;
+      }
+    }
+  }
+  ++q.retries;  // stuck: no neighbor offers any progress; retry next round
+  q.obstruction = kObsStale;
+}
+
+void RequestEngine::mono_resolved(const Request& q, std::uint32_t result) {
+  mono_[q.key] = {round_, result};
+}
+
+void RequestEngine::mono_unresolved(const Request& q) {
+  const auto it = mono_.find(q.key);
+  if (it == mono_.end()) return;
+  // "Resolved at round r, unresolved at r' > r, both endpoints alive."
+  if (it->second.round < round_ &&
+      engine_.network().owner_alive(it->second.owner) &&
+      engine_.network().owner_alive(q.origin))
+    ++totals_.mono_violations;
+}
+
+void RequestEngine::complete(Request& q) {
+  const std::uint32_t result = q.custody;
+  bool found = false;
+  if (q.kind == RequestKind::kKvPut) {
+    if (kv_) {
+      kv_->put_at(result, q.kv_key, std::move(q.kv_value));
+      ++totals_.puts_stored;
+    }
+  } else if (q.kind == RequestKind::kKvGet) {
+    found = kv_ && kv_->get_at(result, q.kv_key) != nullptr;
+    if (found) {
+      ++totals_.gets_found;
+    } else if (kv_ && kv_->any_live_copy(q.kv_key, engine_.network())) {
+      ++totals_.gets_stale_miss;
+    } else {
+      ++totals_.gets_lost_miss;
+    }
+  }
+  // Searchability ledger: lookups and found gets are successful searches; a
+  // get that reached the responsible owner but missed is an unresolved one.
+  if (q.kind == RequestKind::kLookup ||
+      (q.kind == RequestKind::kKvGet && found))
+    mono_resolved(q, result);
+  else if (q.kind == RequestKind::kKvGet)
+    mono_unresolved(q);
+  finish(q, RequestStatus::kResolved, result, found);
+}
+
+void RequestEngine::fail(Request& q, RequestStatus status) {
+  if (q.kind != RequestKind::kKvPut) mono_unresolved(q);
+  finish(q, status, kNoOwner, false);
+}
+
+void RequestEngine::finish(Request& q, RequestStatus status,
+                           std::uint32_t result, bool found) {
+  q.status = status;
+  const std::uint64_t rif = round_ - q.issue_round;
+  if (status == RequestStatus::kResolved)
+    ++totals_.resolved;
+  else if (status == RequestStatus::kFailedStaleRouting)
+    ++totals_.failed_stale;
+  else if (status == RequestStatus::kFailedPartitionLost)
+    ++totals_.failed_partition;
+  else
+    ++totals_.failed_timeout;
+  if (status == RequestStatus::kResolved) totals_.hops_sum += q.hops;
+  totals_.rounds_sum += rif;
+  totals_.retries_sum += q.retries;
+  totals_.max_rounds_in_flight =
+      std::max(totals_.max_rounds_in_flight, rif);
+  // Order-sensitive fold; completions happen in a deterministic order
+  // (delivery-bucket order, then request-id order, per round).
+  std::uint64_t d = util::mix64(q.id * 0x9E3779B97F4A7C15ULL + rif);
+  d ^= util::mix64((static_cast<std::uint64_t>(status) << 40) ^
+                   (static_cast<std::uint64_t>(q.hops) << 20) ^ q.retries);
+  d ^= util::mix64((static_cast<std::uint64_t>(result) << 32) |
+                   (found ? 1u : 0u));
+  totals_.fingerprint = util::mix64(totals_.fingerprint ^ d);
+  completions_.push_back({q.id, q.kind, status, q.issue_round, round_,
+                          q.origin, result, q.hops, q.retries, found,
+                          std::move(q.kv_key)});
+  q.kv_value.clear();
+}
+
+void RequestEngine::on_round() {
+  round_ = engine_.rounds_executed();
+  // 1. Hop deliveries due this round, in emission order.
+  deliver_buf_.clear();
+  if (!due_.empty()) {
+    deliver_buf_.swap(due_.front());
+    due_.pop_front();
+  }
+  for (const std::uint64_t id : deliver_buf_) deliver(reqs_[id]);
+  // 2. One routing step per parked request (newly delivered ones included),
+  // in request-id order.
+  for (const std::uint64_t id : active_) {
+    Request& q = reqs_[id];
+    if (q.status != RequestStatus::kInFlight || q.hop_inflight) continue;
+    route(q);
+  }
+  std::erase_if(active_, [this](std::uint64_t id) {
+    return reqs_[id].status != RequestStatus::kInFlight;
+  });
+}
+
+}  // namespace rechord::net

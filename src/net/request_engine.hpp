@@ -1,0 +1,290 @@
+#pragma once
+// In-network asynchronous request engine (DESIGN.md §9): application
+// requests -- Lookup, KV Put, KV Get -- that live INSIDE the round pipeline
+// instead of routing over an instantaneous snapshot. Each outstanding
+// request resides at a current owner (its custody) and advances at most one
+// hop per engine round by greedy Chord progress over that owner's CURRENT
+// published edges, re-read fresh every hop -- so stabilization helps or
+// hurts live traffic, exactly the regime in which monotonic-searchability
+// questions exist (Scheideler/Setzer/Strothmann, PAPERS.md).
+//
+// Hops are messages: each one pays the per-(source-dc, target-dc) delivery
+// delay class of the engine's latency model through the request engine's own
+// due-round bucket queue, and at DELIVERY time flips the engine's
+// message-loss coin, respects the active partition cut, and detects a
+// next-hop owner that died mid-flight. A failed hop bounces back to the
+// sender (avoiding the failed next-hop on the re-route); a request whose
+// custody owner crashed fails over to its origin. Requests that exhaust
+// their TTL/hop budget fail with a classification: stale-routing (stuck with
+// no usable next hop), partition-lost (last obstruction was the cut), or
+// timeout (everything else, including origin death).
+//
+// Determinism contract: every coin (per-hop delay jitter, loss) is a
+// stateless hash of (seed, request id, attempt) and every routing decision
+// is a pure function of the network's committed end-of-round state -- which
+// is itself bit-identical across {active-set, full-scan} x thread counts --
+// so request outcomes, and the request fingerprint folded over them, are
+// bit-identical across all scheduler modes (tests/test_request.cpp).
+//
+// Routing (per parked request, per round; neighbors = the live owners
+// reachable over the custody owner's unmarked/ring edges to real slots, the
+// per-owner row of the paper's §2.2 real projection):
+//   * forward phase: hop to the neighbor making the most clockwise progress
+//     toward the key without passing it (the §1.1 binary-search strategy);
+//     when no neighbor precedes the key, hop to the one closest AT/after it
+//     and enter the settle phase;
+//   * settle phase: hop to the neighbor that is a strictly closer clockwise
+//     successor of the key, else complete -- monotone in both phases, so
+//     the walk cannot cycle; on the stabilized overlay it provably lands on
+//     the globally responsible owner (asserted against the snapshot
+//     projection in tests/test_request.cpp).
+// There is deliberately NO local "key in (pred, self]" ownership shortcut: a
+// Re-Chord peer has no reliable leftward pointer (even at the fixpoint a
+// real slot's published rl can be invalid, and the projection need not
+// contain a predecessor edge), so requests always complete from the
+// predecessor side, like Chord without predecessor pointers.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace rechord::dht {
+class KvStore;
+}
+
+namespace rechord::net {
+
+using core::RingPos;
+
+enum class RequestKind : std::uint8_t { kLookup = 0, kKvPut = 1, kKvGet = 2 };
+
+enum class RequestStatus : std::uint8_t {
+  kInFlight = 0,
+  /// Reached the owner locally responsible for the key. For kKvGet the
+  /// record may still be absent there (see RequestRecord::found).
+  kResolved,
+  /// Budget exhausted while stuck with no usable next hop -- the routing
+  /// state under the request was stale (healing had not caught up).
+  kFailedStaleRouting,
+  /// Budget exhausted with the last obstruction a partition-cut drop.
+  kFailedPartitionLost,
+  /// Budget exhausted in flight (loss storms, dead hops, origin death).
+  kFailedTimeout,
+};
+
+[[nodiscard]] const char* request_status_name(RequestStatus s);
+[[nodiscard]] const char* request_kind_name(RequestKind k);
+
+struct RequestOptions {
+  /// Seeds the stateless per-(request, attempt) hop coins.
+  std::uint64_t seed = 0x5EEDC0FFEEULL;
+  /// A request that has taken this many hops fails at its next routing step.
+  std::uint32_t hop_cap = 96;
+  /// A request older than this many rounds fails at its next routing step.
+  std::uint32_t ttl_rounds = 128;
+};
+
+/// Completion record of one request (success or failure).
+struct RequestRecord {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kLookup;
+  RequestStatus status = RequestStatus::kInFlight;
+  std::uint64_t issue_round = 0;
+  std::uint64_t completion_round = 0;
+  std::uint32_t origin = 0;
+  /// Owner the request completed at; UINT32_MAX for failures.
+  std::uint32_t result_owner = 0;
+  std::uint32_t hops = 0;
+  std::uint32_t retries = 0;
+  /// kKvGet only: the reached owner held the record.
+  bool found = false;
+  /// KV key of kKvPut/kKvGet requests (empty for lookups) -- lets callers
+  /// act on completions, e.g. the scenario runner registers a put's key as
+  /// gettable only once the put actually resolved.
+  std::string key;
+
+  [[nodiscard]] std::uint64_t rounds_in_flight() const noexcept {
+    return completion_round - issue_round;
+  }
+};
+
+/// Aggregates over every completed request (cumulative).
+struct RequestTotals {
+  std::uint64_t issued = 0;
+  std::uint64_t resolved = 0;
+  std::uint64_t failed_stale = 0;
+  std::uint64_t failed_partition = 0;
+  std::uint64_t failed_timeout = 0;
+  // KV data plane (kKvGet / kKvPut completions).
+  std::uint64_t puts_stored = 0;
+  std::uint64_t gets_found = 0;
+  /// Get misses with a live copy elsewhere: routing reached an owner the
+  /// record had not (re-)reached yet.
+  std::uint64_t gets_stale_miss = 0;
+  /// Get misses with no surviving copy anywhere.
+  std::uint64_t gets_lost_miss = 0;
+  // Path statistics over completed requests.
+  std::uint64_t hops_sum = 0;
+  std::uint64_t rounds_sum = 0;  // sum of rounds-in-flight
+  std::uint64_t retries_sum = 0;
+  std::uint64_t max_rounds_in_flight = 0;
+  // Delivery-time obstructions (each bounces the hop back to its sender).
+  std::uint64_t loss_bounces = 0;
+  std::uint64_t partition_bounces = 0;
+  std::uint64_t dead_hop_bounces = 0;
+  /// Requests whose custody owner died while holding them (failed over to
+  /// the origin rather than hanging).
+  std::uint64_t custody_failovers = 0;
+  /// Monotonic-searchability violations: a key that resolved at round r and
+  /// failed to resolve at a later round with BOTH the earlier result owner
+  /// and the failing request's origin still alive.
+  std::uint64_t mono_violations = 0;
+  /// Order-sensitive fold over every completion (id, rounds, hops, retries,
+  /// status, result, found) -- the determinism-contract fingerprint.
+  std::uint64_t fingerprint = 0;
+
+  [[nodiscard]] std::uint64_t failed() const noexcept {
+    return failed_stale + failed_partition + failed_timeout;
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return resolved + failed();
+  }
+  [[nodiscard]] double mean_hops() const noexcept {
+    return resolved ? static_cast<double>(hops_sum) /
+                          static_cast<double>(resolved)
+                    : 0.0;
+  }
+  [[nodiscard]] double mean_rounds_in_flight() const noexcept {
+    return completed() ? static_cast<double>(rounds_sum) /
+                             static_cast<double>(completed())
+                       : 0.0;
+  }
+};
+
+class RequestEngine {
+ public:
+  /// Binds to `engine` for the lifetime of the request engine. The caller
+  /// drives the lockstep: call on_round() exactly once after every
+  /// engine.step() (the scenario runner does it from the round observer).
+  explicit RequestEngine(core::Engine& engine, RequestOptions opt = {});
+
+  /// Attaches the KV data plane used by kKvPut/kKvGet completions; without
+  /// a store, puts store nothing and gets always miss. The store is shared
+  /// with the snapshot paths (KvLoad/KvRebalance), so live gets see
+  /// snapshot-loaded records and vice versa.
+  void bind_store(dht::KvStore* kv) noexcept { kv_ = kv; }
+
+  // -- submission (between rounds; the request parks at its origin and takes
+  // its first hop at the next on_round) ------------------------------------
+  std::uint64_t submit_lookup(RingPos key, std::uint32_t origin);
+  std::uint64_t submit_put(std::string key, std::string value,
+                           std::uint32_t origin);
+  std::uint64_t submit_get(std::string key, std::uint32_t origin);
+
+  /// Advances every outstanding request by (at most) one hop against the
+  /// committed state of the round that just ran: due hop deliveries first
+  /// (loss/partition/dead-hop checks), then one routing step per parked
+  /// request, in request-id order.
+  void on_round();
+
+  // -- introspection --------------------------------------------------------
+  [[nodiscard]] std::size_t inflight() const noexcept {
+    return active_.size();
+  }
+  [[nodiscard]] const RequestTotals& totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return totals_.fingerprint;
+  }
+  /// Completion records in completion order (kept until cleared).
+  [[nodiscard]] const std::vector<RequestRecord>& completions() const noexcept {
+    return completions_;
+  }
+  void clear_completions() { completions_.clear(); }
+  /// Current custody owner of an outstanding request; nullopt once it
+  /// completed (test instrumentation).
+  [[nodiscard]] std::optional<std::uint32_t> custody_of(
+      std::uint64_t id) const;
+
+  [[nodiscard]] const RequestOptions& options() const noexcept { return opt_; }
+
+ private:
+  enum Phase : std::uint8_t { kForward = 0, kSettle = 1 };
+  enum Obstruction : std::uint8_t {
+    kObsNone = 0,
+    kObsStale,      // no usable next hop at the custody owner
+    kObsLoss,       // hop dropped by the message-loss coin
+    kObsPartition,  // hop dropped at the partition cut
+    kObsDead,       // next-hop owner died mid-flight
+  };
+
+  struct Request {
+    std::uint64_t id = 0;
+    RingPos key = 0;
+    std::uint64_t issue_round = 0;
+    std::uint32_t origin = 0;
+    std::uint32_t custody = 0;
+    std::uint32_t hop_to = UINT32_MAX;  // valid while hop_inflight
+    std::uint32_t avoid = UINT32_MAX;   // last bounced next-hop
+    std::uint32_t hops = 0;
+    std::uint32_t retries = 0;
+    std::uint32_t attempt = 0;  // hop launches (keys the stateless coins)
+    RequestKind kind = RequestKind::kLookup;
+    RequestStatus status = RequestStatus::kInFlight;
+    Phase phase = kForward;
+    Obstruction obstruction = kObsNone;
+    bool hop_inflight = false;
+    std::string kv_key, kv_value;  // kKvPut / kKvGet payloads
+  };
+
+  std::uint64_t submit(RequestKind kind, RingPos key, std::uint32_t origin,
+                       std::string kv_key, std::string kv_value);
+  void deliver(Request& q);
+  void route(Request& q);
+  void launch_hop(Request& q, std::uint32_t next);
+  void bounce(Request& q, Obstruction obs);
+  /// Custody owner died holding the request: fail over to the origin (or
+  /// fail the request when the origin is gone too).
+  void custody_failover(Request& q);
+  void complete(Request& q);
+  void fail(Request& q, RequestStatus status);
+  void finish(Request& q, RequestStatus status, std::uint32_t result,
+              bool found);
+  /// Records / checks the monotonic-searchability ledger for a completing
+  /// search (kLookup, kKvGet).
+  void mono_resolved(const Request& q, std::uint32_t result);
+  void mono_unresolved(const Request& q);
+  void collect_neighbors(std::uint32_t owner);
+  [[nodiscard]] std::uint64_t hop_hash(std::uint64_t id, std::uint32_t attempt,
+                                       std::uint64_t salt) const noexcept;
+
+  core::Engine& engine_;
+  RequestOptions opt_;
+  dht::KvStore* kv_ = nullptr;
+  std::uint64_t round_ = 0;  // engine round the current on_round reacts to
+
+  std::vector<Request> reqs_;          // dense by request id
+  std::vector<std::uint64_t> active_;  // outstanding ids, ascending
+  /// due_[k]: request ids whose in-flight hop delivers at the k-th next
+  /// on_round (the front bucket is this round's deliveries). Emission order
+  /// within a bucket is preserved, like the engine's in-flight queue.
+  std::deque<std::vector<std::uint64_t>> due_;
+  std::vector<std::uint64_t> deliver_buf_;
+  std::vector<std::uint32_t> nbrs_;  // neighbor scratch, sorted unique
+  /// Monotonic-searchability ledger: key -> (last resolution round, owner).
+  struct MonoEntry {
+    std::uint64_t round = 0;
+    std::uint32_t owner = 0;
+  };
+  std::map<RingPos, MonoEntry> mono_;
+  std::vector<RequestRecord> completions_;
+  RequestTotals totals_;
+};
+
+}  // namespace rechord::net

@@ -37,6 +37,10 @@ const char* event_name(const Event& e) {
     const char* operator()(const KvLoad&) const { return "kv-load"; }
     const char* operator()(const KvProbe&) const { return "kv-probe"; }
     const char* operator()(const KvRebalance&) const { return "kv-rebalance"; }
+    const char* operator()(const LookupLoad&) const { return "lookup-load"; }
+    const char* operator()(const AwaitRequestsDrained&) const {
+      return "await-requests";
+    }
   };
   return std::visit(Namer{}, e);
 }

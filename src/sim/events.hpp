@@ -162,12 +162,50 @@ struct KvProbe {
 /// (Chord's key migration after churn).
 struct KvRebalance {};
 
+// -- in-network request workload (DESIGN.md §9) ------------------------------
+
+/// Kind of request a LookupLoad batch issues.
+enum class LoadKind : std::uint8_t {
+  kLookup = 0,  // pure lookups of uniformly random ring keys
+  kKvGet = 1,   // gets of previously loaded keys (random keys when none)
+  /// Puts of fresh keys, stored at the reached owner. A put's key becomes
+  /// eligible for later kKvGet draws only once the put RESOLVES -- a get
+  /// against an unstored key would misread its miss as data loss.
+  kKvPut = 2,
+};
+
+/// Issues `count` asynchronous requests through the in-network request
+/// engine (net/request_engine.hpp): hop-by-hop traffic that advances one
+/// hop per round over the owners' CURRENT published edges -- re-read each
+/// hop, so stabilization helps or hurts it live -- paying per-(dc,dc)
+/// delivery delays and the loss/partition fault model at every hop. The
+/// requests stay outstanding across subsequent events; AwaitRequestsDrained
+/// waits for them. Keys and origins are drawn from the scenario rng stream
+/// (origins from the live peers), so the batch is deterministic in
+/// (scenario, params) like every other event.
+struct LookupLoad {
+  std::size_t count = 64;
+  LoadKind kind = LoadKind::kLookup;
+};
+
+/// Runs rounds until every outstanding request completed (cap `max_rounds`),
+/// recording a CheckpointResult: passed iff the requests drained in time
+/// and -- when `require_no_mono_violations` -- no monotonic-searchability
+/// violation was recorded during the drain (the post-stabilization CI
+/// assertion: on a healed overlay, a search that ever succeeded keeps
+/// succeeding).
+struct AwaitRequestsDrained {
+  std::string label = "requests-drained";
+  std::uint64_t max_rounds = 4000;
+  bool require_no_mono_violations = false;
+};
+
 using Event =
     std::variant<JoinBurst, LeaveBurst, CrashBurst, MixedChurn, PoissonChurn,
                  Scramble, CrashRestart, AssignDatacenters, SetLatencyModel,
                  SetMessageLoss, SetSleep, PartitionBegin, PartitionEnd,
                  RunRounds, Checkpoint, AwaitAlmost, KvLoad, KvProbe,
-                 KvRebalance>;
+                 KvRebalance, LookupLoad, AwaitRequestsDrained>;
 
 /// Short kind name for logs and the per-round CSV ("join-burst", ...).
 [[nodiscard]] const char* event_name(const Event& e);

@@ -47,22 +47,50 @@ class ScenarioRunner {
         seed_(params.seed),
         rng_(params.seed),
         engine_(make_initial(sc, rng_), params.engine),
-        kv_({.replicas = params.replicas}) {
+        kv_({.replicas = params.replicas}),
+        req_(engine_, request_options(sc, params)) {
     out_.name = sc.name;
     out_.n = sc.n;
+    req_.bind_store(&kv_);
     if (csv) {
       csv_.emplace(*csv);
       csv_->header({"record", "event", "round", "real_nodes", "virtual_nodes",
                     "unmarked_edges", "ring_edges", "connection_edges",
                     "active", "replayed", "skipped", "changed", "inflight",
-                    "lookups", "found", "stale", "lost", "checkpoint_rounds",
+                    "req_inflight", "req_done", "req_failed",
+                    "mono_violations", "dc_lag_max", "lookups", "found",
+                    "stale", "lost", "checkpoint_rounds",
                     "checkpoint_passed"});
     }
     engine_.set_round_observer([this](const core::RoundMetrics& mt) {
+      // The request engine advances in lockstep with EVERY engine round,
+      // regardless of which event (RunRounds, a checkpoint's convergence
+      // loop, PoissonChurn) drove the step.
+      req_.on_round();
+      // Resolved live puts make their keys eligible for later kKvGet draws.
+      const auto& comps = req_.completions();
+      for (; completions_seen_ < comps.size(); ++completions_seen_) {
+        const auto& rec = comps[completions_seen_];
+        if (rec.kind == net::RequestKind::kKvPut &&
+            rec.status == net::RequestStatus::kResolved)
+          keys_.push_back(rec.key);
+      }
       out_.live_peer_rounds += mt.active_peers;
       out_.replayed_peer_rounds += mt.replayed_peers;
       out_.skipped_peer_rounds += mt.skipped_peers;
       last_metrics_ = mt;
+      // Per-dc convergence lag: for each datacenter, the streak of
+      // consecutive rounds (up to now) in which some peer of that dc still
+      // changed state -- the trailing datacenter carries the max.
+      if (dc_streak_.size() < mt.dc_count) dc_streak_.resize(mt.dc_count, 0);
+      std::uint64_t dc_lag_max = 0;
+      for (std::size_t d = 0; d < dc_streak_.size(); ++d) {
+        dc_streak_[d] =
+            d < mt.dc_count && mt.dc_changed(static_cast<std::uint8_t>(d))
+                ? dc_streak_[d] + 1
+                : 0;
+        dc_lag_max = std::max(dc_lag_max, dc_streak_[d]);
+      }
       if (!csv_) return;
       csv_->row();
       csv_->cell("round").cell(current_event_).cell(mt.round);
@@ -76,6 +104,11 @@ class ScenarioRunner {
       csv_->cell(static_cast<std::uint64_t>(mt.skipped_peers));
       csv_->cell(std::int64_t{mt.changed ? 1 : 0});
       csv_->cell(static_cast<std::uint64_t>(mt.inflight_messages));
+      csv_->cell(static_cast<std::uint64_t>(req_.inflight()));
+      csv_->cell(req_.totals().resolved);
+      csv_->cell(req_.totals().failed());
+      csv_->cell(req_.totals().mono_violations);
+      csv_->cell(dc_lag_max);
       for (int i = 0; i < 6; ++i) csv_->cell("");
     });
   }
@@ -88,6 +121,7 @@ class ScenarioRunner {
     }
     current_event_ = "";
     out_.total_rounds = engine_.rounds_executed();
+    out_.requests = req_.totals();
     out_.final_fingerprint = engine_.network().state_fingerprint();
     out_.final_metrics = last_metrics_;
     out_.messages_dropped = engine_.messages_dropped();
@@ -101,6 +135,15 @@ class ScenarioRunner {
     core::Network net = gen::make_network(sc.topology, sc.n, rng);
     if (sc.scramble_initial) gen::scramble_state(net, rng);
     return net;
+  }
+
+  static net::RequestOptions request_options(const Scenario& sc,
+                                             const ScenarioParams& params) {
+    net::RequestOptions opt = sc.requests;
+    // Mirrors the fault-seed convention: the hop coins are a function of the
+    // run seed, never of scheduler mode or thread count.
+    opt.seed = util::mix64(params.seed ^ 0x4E75EED5ULL);
+    return opt;
   }
 
   [[nodiscard]] bool kv_active() const { return !keys_.empty(); }
@@ -308,7 +351,7 @@ class ScenarioRunner {
     if (csv_) {
       csv_->row();
       csv_->cell("checkpoint").cell(cp.label).cell(cp.at_round);
-      for (int i = 0; i < 14; ++i) csv_->cell("");
+      for (int i = 0; i < 19; ++i) csv_->cell("");
       csv_->cell(cp.rounds);
       csv_->cell(std::int64_t{cp.passed ? 1 : 0});
     }
@@ -359,7 +402,7 @@ class ScenarioRunner {
     if (csv_) {
       csv_->row();
       csv_->cell("probe").cell(current_event_).cell(engine_.rounds_executed());
-      for (int i = 0; i < 10; ++i) csv_->cell("");
+      for (int i = 0; i < 15; ++i) csv_->cell("");
       csv_->cell(static_cast<std::uint64_t>(e.lookups));
       csv_->cell(static_cast<std::uint64_t>(found));
       csv_->cell(static_cast<std::uint64_t>(stale));
@@ -373,16 +416,58 @@ class ScenarioRunner {
     kv_.rebalance(view);
   }
 
+  void apply(const LookupLoad& e) {
+    const auto owners = engine_.network().live_owners();
+    for (std::size_t i = 0; i < e.count; ++i) {
+      const std::uint32_t from = owners[rng_.below(owners.size())];
+      switch (e.kind) {
+        case LoadKind::kKvPut: {
+          // The key becomes gettable only once the put RESOLVES (the
+          // observer below watches completions): a get drawn against a
+          // still-in-flight or failed put would misread its miss as data
+          // loss.
+          const std::string key = "live-" + std::to_string(live_puts_++);
+          req_.submit_put(key, "value-" + key, from);
+          break;
+        }
+        case LoadKind::kKvGet:
+          if (!keys_.empty()) {
+            req_.submit_get(keys_[rng_.below(keys_.size())], from);
+            break;
+          }
+          [[fallthrough]];  // nothing loaded yet: degrade to pure lookups
+        case LoadKind::kLookup:
+          req_.submit_lookup(rng_.next(), from);
+          break;
+      }
+    }
+    note_event("load x" + std::to_string(e.count));
+  }
+
+  void apply(const AwaitRequestsDrained& e) {
+    CheckpointResult cp;
+    cp.label = e.label;
+    const std::uint64_t mono_before = req_.totals().mono_violations;
+    std::uint64_t rounds = 0;
+    while (req_.inflight() > 0 && rounds < e.max_rounds) {
+      const auto mt = engine_.step();
+      ++rounds;
+      cp.live_peer_rounds += mt.active_peers;
+      cp.replayed_peer_rounds += mt.replayed_peers;
+      cp.skipped_peer_rounds += mt.skipped_peers;
+    }
+    cp.rounds = cp.rounds_almost = rounds;
+    cp.reached = req_.inflight() == 0;
+    cp.exact = false;
+    const std::uint64_t mono_delta =
+        req_.totals().mono_violations - mono_before;
+    cp.passed =
+        cp.reached && (!e.require_no_mono_violations || mono_delta == 0);
+    finish_checkpoint(std::move(cp));
+  }
+
   [[nodiscard]] std::size_t poisson(double rate) {
-    // Knuth's product method; rate is small (a few events per round).
-    const double limit = std::exp(-rate);
-    std::size_t k = 0;
-    double p = 1.0;
-    do {
-      ++k;
-      p *= rng_.uniform01();
-    } while (p > limit);
-    return k - 1;
+    return util::poisson_knuth(rng_, rate);
   }
 
   const Scenario& scenario_;
@@ -390,7 +475,11 @@ class ScenarioRunner {
   util::Rng rng_;
   core::Engine engine_;
   dht::KvStore kv_;
+  net::RequestEngine req_;
   std::vector<std::string> keys_;
+  std::size_t live_puts_ = 0;
+  std::size_t completions_seen_ = 0;
+  std::vector<std::uint64_t> dc_streak_;
   std::optional<util::CsvWriter> csv_;
   std::string pending_events_;
   const char* current_event_ = "";
@@ -653,6 +742,109 @@ Scenario build_sustained_churn(const ScenarioParams& p) {
   return sc;
 }
 
+// -- in-network request scenarios (DESIGN.md §9) -----------------------------
+//
+// These route application traffic hop by hop THROUGH the round pipeline --
+// the LookupLoad batches stay outstanding across churn, latency and
+// partition events, and AwaitRequestsDrained runs the engine until they
+// complete. Each ends with a stabilization checkpoint followed by a drain
+// that must record ZERO monotonic-searchability violations: on a healed
+// overlay, a search that ever succeeded keeps succeeding (the CI smoke
+// asserts this through the runner's exit code).
+
+Scenario build_lookups_poisson_churn(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "lookups-under-poisson-churn";
+  sc.description =
+      "hop-by-hop lookups and gets live inside the round pipeline while "
+      "Poisson churn arrives; stabilization, then a final wave drains with "
+      "zero monotonic-searchability violations";
+  sc.n = resolve(p.n, 48);
+  const double rate = resolve_p(p.intensity, 0.3);
+  const std::size_t waves = resolve(p.ops, 3);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 48});
+  for (std::size_t w = 0; w < waves; ++w) {
+    sc.timeline.push_back(LookupLoad{.count = 24, .kind = LoadKind::kLookup});
+    sc.timeline.push_back(LookupLoad{.count = 8, .kind = LoadKind::kKvPut});
+    sc.timeline.push_back(LookupLoad{.count = 12, .kind = LoadKind::kKvGet});
+    sc.timeline.push_back(
+        PoissonChurn{.events_per_round = rate, .rounds = 8});
+  }
+  sc.timeline.push_back(AwaitRequestsDrained{.label = "churn-drain"});
+  sc.timeline.push_back(Checkpoint{.label = "stabilized"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(LookupLoad{.count = 32, .kind = LoadKind::kLookup});
+  sc.timeline.push_back(LookupLoad{.count = 32, .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(AwaitRequestsDrained{
+      .label = "stable-drain", .require_no_mono_violations = true});
+  return sc;
+}
+
+Scenario build_lookups_wan_partition(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "lookups-across-wan-partition-heal";
+  sc.description =
+      "live lookups over a two-datacenter WAN with a spike-jitter link while "
+      "a partition cuts the overlay; requests bounce at the cut, re-route, "
+      "and after the heal a final wave drains violation-free";
+  sc.n = resolve(p.n, 40);
+  // Tight budget so requests stranded at the cut classify (partition-lost)
+  // within the run instead of outliving it.
+  sc.requests.ttl_rounds = 48;
+  const core::DelayClass wan{.base = 1,
+                             .jitter = 2,
+                             .kind = core::JitterKind::kSpike,
+                             .spike_percent = 25};
+  const core::DelayClass z{};
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 48});
+  sc.timeline.push_back(AssignDatacenters{.dcs = 2});
+  sc.timeline.push_back(SetLatencyModel{.dcs = 2, .classes = {z, wan, wan, z}});
+  sc.timeline.push_back(LookupLoad{.count = 24, .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(RunRounds{.rounds = 4});
+  sc.timeline.push_back(
+      PartitionBegin{.fraction = resolve_p(p.intensity, 0.5)});
+  sc.timeline.push_back(LookupLoad{.count = 24, .kind = LoadKind::kLookup});
+  sc.timeline.push_back(RunRounds{.rounds = 8});
+  sc.timeline.push_back(LookupLoad{.count = 24, .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(RunRounds{.rounds = 8});
+  sc.timeline.push_back(PartitionEnd{});
+  sc.timeline.push_back(SetLatencyModel{});  // flatten the link
+  sc.timeline.push_back(AwaitRequestsDrained{.label = "post-heal-drain"});
+  sc.timeline.push_back(Checkpoint{.label = "healed"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(LookupLoad{.count = 32, .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(AwaitRequestsDrained{
+      .label = "stable-drain", .require_no_mono_violations = true});
+  return sc;
+}
+
+Scenario build_flash_crowd_live(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "flash-crowd-live";
+  sc.description =
+      "flash-crowd join storm with LIVE hop-by-hop gets replacing the "
+      "snapshot probe path: requests issued mid-heal traverse the storm, "
+      "then the healed overlay serves a violation-free wave";
+  sc.n = resolve(p.n, 48);
+  const std::size_t joiners = resolve(p.ops, sc.n / 2);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 64});
+  sc.timeline.push_back(JoinBurst{.count = joiners});
+  for (int i = 0; i < 3; ++i) {
+    sc.timeline.push_back(LookupLoad{.count = 24, .kind = LoadKind::kKvGet});
+    sc.timeline.push_back(RunRounds{.rounds = 2});
+  }
+  sc.timeline.push_back(AwaitRequestsDrained{.label = "mid-heal-drain"});
+  sc.timeline.push_back(Checkpoint{.label = "healed"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(LookupLoad{.count = 48, .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(AwaitRequestsDrained{
+      .label = "stable-drain", .require_no_mono_violations = true});
+  return sc;
+}
+
 }  // namespace
 
 ScenarioOutcome run_scenario(const Scenario& scenario,
@@ -672,7 +864,8 @@ const std::vector<ScenarioInfo>& scenario_registry() {
           &build_partition_heal, &build_lossy_bringup, &build_sleepy_bringup,
           &build_adversarial_recovery, &build_poisson_storm,
           &build_crash_restart, &build_wan_two_dc, &build_flash_crowd_3dc,
-          &build_sustained_churn}) {
+          &build_sustained_churn, &build_lookups_poisson_churn,
+          &build_lookups_wan_partition, &build_flash_crowd_live}) {
       const Scenario sc = build(ScenarioParams{});
       reg.push_back({sc.name, sc.description, build});
     }

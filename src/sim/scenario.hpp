@@ -18,6 +18,7 @@
 
 #include "core/engine.hpp"
 #include "gen/topologies.hpp"
+#include "net/request_engine.hpp"
 #include "sim/events.hpp"
 
 namespace rechord::util {
@@ -34,6 +35,9 @@ struct Scenario {
   /// Fuzz the initial state before the first round (adversarial start).
   bool scramble_initial = false;
   std::size_t n = 32;
+  /// Budgets of the in-network request engine behind LookupLoad events (the
+  /// coin seed is derived from the run's ScenarioParams::seed, not here).
+  net::RequestOptions requests;
   std::vector<Event> timeline;
 };
 
@@ -108,6 +112,8 @@ struct ScenarioOutcome {
   std::uint64_t partition_dropped = 0;
   std::vector<CheckpointResult> checkpoints;
   WorkloadTotals workload;
+  /// In-network request workload (LookupLoad events; all zero without any).
+  net::RequestTotals requests;
   core::RoundMetrics final_metrics;
   /// Scheduler work over the whole run (full_scan counts everything live).
   std::uint64_t live_peer_rounds = 0;

@@ -7,6 +7,8 @@
 // the standard library's unspecified distribution implementations.
 
 #include <array>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +19,16 @@ namespace rechord::util {
 
 /// Stateless splitmix64-based mix of a single value (for hashing ids).
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Bernoulli trial decided by a uniform 64-bit hash: true with probability
+/// p. The (h >> 11) * 2^-53 mapping is the same recipe as Rng::uniform01,
+/// so hash-keyed coins (engine fault schedule, request-hop loss) and
+/// stream-drawn coins share one definition.
+[[nodiscard]] inline bool hash_coin(std::uint64_t h, double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p;
+}
 
 /// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG.
 class Rng {
@@ -63,6 +75,20 @@ class Rng {
  private:
   std::array<std::uint64_t, 4> s_;
 };
+
+/// Poisson(rate) sample via Knuth's product method; for the small rates of
+/// the churn schedules (a few events per round). Always consumes at least
+/// one draw, so a rate-0 caller keeps the same stream as a rate-eps one.
+[[nodiscard]] inline std::size_t poisson_knuth(Rng& rng, double rate) {
+  const double limit = std::exp(-rate);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform01();
+  } while (p > limit);
+  return k - 1;
+}
 
 /// n distinct uniform 64-bit values (rejection on duplicates); n << 2^64.
 [[nodiscard]] std::vector<std::uint64_t> distinct_u64(Rng& rng, std::size_t n);

@@ -359,6 +359,13 @@ TEST(Scheduler, LatencyMixedClassesActiveVsFullScanBitIdentical) {
         const auto mf = full.step();
         avoided += ma.replayed_peers + ma.skipped_peers;
         inflight_seen += active.inflight_message_count();
+        // Refcount bookkeeping == ground-truth queue walk, in both engines.
+        ASSERT_EQ(active.inflight_refcount_owners(),
+                  active.inflight_referenced_owners())
+            << "threads=" << threads << " seed=" << seed << " round " << r;
+        ASSERT_EQ(full.inflight_refcount_owners(),
+                  full.inflight_referenced_owners())
+            << "threads=" << threads << " seed=" << seed << " round " << r;
         ASSERT_EQ(ma.changed, mf.changed)
             << "threads=" << threads << " seed=" << seed << " round " << r;
         ASSERT_EQ(active.inflight_message_count(),
@@ -420,6 +427,10 @@ TEST(Scheduler, InFlightReferencedPeersNeverRestingAndGateFixpoint) {
   std::uint64_t inflight_seen = 0;
   for (int r = 0; r < 30; ++r) {
     const auto refs = engine.inflight_referenced_owners();
+    // The per-owner refcount bookkeeping (updated at enqueue/drain, the set
+    // the rule-(3) eviction scan actually walks) must agree with the
+    // ground-truth queue walk at every round.
+    ASSERT_EQ(engine.inflight_refcount_owners(), refs) << "round " << r;
     const auto mt = engine.step();
     for (const std::uint32_t o : refs)
       ASSERT_FALSE(engine.owner_was_skipped(o))
