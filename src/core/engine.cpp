@@ -575,10 +575,9 @@ void Engine::run_peers() {
   // atomics. Determinism: queues are concatenated in shard order, which
   // equals the serial (ascending-owner) emission order.
   if (shard_ops_.size() < shards) shard_ops_.resize(shards);
-  if (!pool_ || pool_->worker_count() + 1 < shards)
-    pool_ = std::make_unique<WorkerPool>(shards - 1);
+  WorkerPool& pool = shared_worker_pool(shards);
   const std::size_t chunk = (owners_.size() + shards - 1) / shards;
-  pool_->run(shards, [&](unsigned t) {
+  pool.run(shards, [&](unsigned t) {
     const std::size_t begin = std::min<std::size_t>(t * chunk, owners_.size());
     const std::size_t end =
         std::min<std::size_t>(begin + chunk, owners_.size());
@@ -587,6 +586,13 @@ void Engine::run_peers() {
   });
   for (unsigned t = 0; t < shards; ++t)
     ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
+}
+
+WorkerPool& Engine::shared_worker_pool(unsigned ways) {
+  if (ways < 1) ways = 1;
+  if (!pool_ || pool_->worker_count() + 1 < ways)
+    pool_ = std::make_unique<WorkerPool>(ways - 1);
+  return *pool_;
 }
 
 void Engine::route_inflight() {

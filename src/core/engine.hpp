@@ -300,6 +300,16 @@ class Engine {
     return owner < skip_.size() && skip_[owner] != 0;
   }
 
+  /// Worker-pool hook for subsystems that run their own sharded phases
+  /// between rounds on the ENGINE's threads (the request engine's custody
+  /// shards, net/request_engine.hpp): ensures the persistent pool exists
+  /// with capacity for `ways`-way runs and returns it. The pool is shared
+  /// with the rule phase -- both callers pass a shard job to WorkerPool::run
+  /// from the driving thread, never concurrently (the request engine
+  /// advances strictly between step() calls), so one pool serves the whole
+  /// engine and the thread structure never depends on which subsystem runs.
+  [[nodiscard]] WorkerPool& shared_worker_pool(unsigned ways);
+
   /// Per-round metrics observer, invoked at the end of every step() with the
   /// round's metrics -- regardless of which driver (scenario runner,
   /// run_to_stable, a bench loop) issues the steps. One observer at a time;

@@ -11,6 +11,7 @@
 namespace rechord::core {
 
 Network::Network(std::span<const RingPos> real_ids) {
+  topo_version_.store(1);  // reserve 0 as the "never computed" cache stamp
   owner_pos_.reserve(real_ids.size());
   for (RingPos id : real_ids) add_owner(id);
 }

@@ -207,6 +207,17 @@ class Network {
   /// should be measured against the state as of *now*.
   void rebuild_change_baseline();
 
+  /// Monotonic mutation counter, bumped by every mutator that marks a slot
+  /// dirty (edges, aliveness, rl/rr). Unlike the dirty marks it is never
+  /// consumed, so derived per-owner state cached OUTSIDE the engine (the
+  /// request engine's routing rows) can validate with a single load: equal
+  /// version => the inputs of the cached value are unchanged. Conservative
+  /// the other way -- rl/rr churn bumps it without affecting routing rows.
+  /// Starts at 1; 0 is free for "never computed" stamps.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return topo_version_.load();
+  }
+
   /// True when any mutation since the last consume_round_changes() touched
   /// this owner / this slot (the marks consume() clears). Between rounds a
   /// set mark can only come from an out-of-band mutation -- the engine's
@@ -286,6 +297,7 @@ class Network {
   /// Set when a mutation may have introduced a reference to a dead slot;
   /// cleared by normalize() once every reference is live again.
   detail::RelaxedCell<std::uint8_t> dead_refs_;
+  detail::RelaxedCell<std::uint64_t> topo_version_;  // see topology_version()
 
   std::vector<Slot> merge_buf_;  // single-threaded scratch (commit/normalize)
   // rebuild_reader_index scratch (counting-sort buffers)
@@ -296,6 +308,7 @@ class Network {
   void mark_dirty(Slot s) noexcept {
     slot_dirty_[s] = 1;
     owner_dirty_[owner_of(s)] = 1;
+    topo_version_.add(1);
   }
   [[nodiscard]] std::uint64_t slot_digest(Slot s) const noexcept;
   /// Digest of the published (cross-peer-readable) part of a slot: aliveness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/worker_pool.hpp"
 #include "dht/kv_store.hpp"
 #include "ident/hashing.hpp"
 #include "ident/ring_pos.hpp"
@@ -11,6 +12,7 @@ namespace rechord::net {
 
 namespace {
 constexpr std::uint32_t kNoOwner = UINT32_MAX;
+constexpr std::uint32_t kNoPayload = UINT32_MAX;
 constexpr std::uint64_t kSaltDelay = 0xDE1A11ULL;
 constexpr std::uint64_t kSaltLoss = 0x10551ULL;
 }  // namespace
@@ -39,6 +41,8 @@ RequestEngine::RequestEngine(core::Engine& engine, RequestOptions opt)
     : engine_(engine), opt_(opt), round_(engine.rounds_executed()) {
   if (opt_.hop_cap == 0) opt_.hop_cap = 1;
   if (opt_.ttl_rounds == 0) opt_.ttl_rounds = 1;
+  if (opt_.shards == 0) opt_.shards = 1;
+  shards_.resize(opt_.shards);
 }
 
 std::uint64_t RequestEngine::hop_hash(std::uint64_t id, std::uint32_t attempt,
@@ -47,22 +51,85 @@ std::uint64_t RequestEngine::hop_hash(std::uint64_t id, std::uint32_t attempt,
                      util::mix64(id * 0x9E3779B97F4A7C15ULL + attempt));
 }
 
+// -- slot / payload pools ----------------------------------------------------
+
+void RequestEngine::SlotArrays::grow_one() {
+  uid.push_back(0);
+  key.push_back(0);
+  issue_round.push_back(0);
+  origin.push_back(0);
+  custody.push_back(0);
+  hop_to.push_back(kNoOwner);
+  avoid.push_back(kNoOwner);
+  hops.push_back(0);
+  retries.push_back(0);
+  attempt.push_back(0);
+  kind.push_back(0);
+  phase.push_back(0);
+  obstruction.push_back(0);
+  payload.push_back(kNoPayload);
+}
+
+std::uint32_t RequestEngine::alloc_slot() {
+  if (!slot_free_.empty()) {
+    const std::uint32_t s = slot_free_.back();
+    slot_free_.pop_back();
+    return s;
+  }
+  slots_.grow_one();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void RequestEngine::free_slot(std::uint32_t slot) {
+  slot_of_uid_.erase(slots_.uid[slot]);
+  const std::uint32_t p = slots_.payload[slot];
+  if (p != kNoPayload) {
+    payloads_[p].key.clear();
+    payloads_[p].value.clear();
+    payload_free_.push_back(p);
+    slots_.payload[slot] = kNoPayload;
+  }
+  slot_free_.push_back(slot);
+  --outstanding_;
+}
+
+// -- submission --------------------------------------------------------------
+
 std::uint64_t RequestEngine::submit(RequestKind kind, RingPos key,
                                     std::uint32_t origin, std::string kv_key,
                                     std::string kv_value) {
-  Request q;
-  q.id = reqs_.size();
-  q.kind = kind;
-  q.key = key;
-  q.issue_round = engine_.rounds_executed();
-  q.origin = origin;
-  q.custody = origin;
-  q.kv_key = std::move(kv_key);
-  q.kv_value = std::move(kv_value);
-  const std::uint64_t id = q.id;
-  reqs_.push_back(std::move(q));
-  active_.push_back(id);
+  const std::uint32_t slot = alloc_slot();
+  const std::uint64_t id = next_uid_++;
+  slots_.uid[slot] = id;
+  slots_.key[slot] = key;
+  slots_.issue_round[slot] = engine_.rounds_executed();
+  slots_.origin[slot] = origin;
+  slots_.custody[slot] = origin;
+  slots_.hop_to[slot] = kNoOwner;
+  slots_.avoid[slot] = kNoOwner;
+  slots_.hops[slot] = 0;
+  slots_.retries[slot] = 0;
+  slots_.attempt[slot] = 0;
+  slots_.kind[slot] = static_cast<std::uint8_t>(kind);
+  slots_.phase[slot] = kForward;
+  slots_.obstruction[slot] = kObsNone;
+  if (kind != RequestKind::kLookup) {
+    std::uint32_t p;
+    if (!payload_free_.empty()) {
+      p = payload_free_.back();
+      payload_free_.pop_back();
+    } else {
+      p = static_cast<std::uint32_t>(payloads_.size());
+      payloads_.emplace_back();
+    }
+    payloads_[p].key = std::move(kv_key);
+    payloads_[p].value = std::move(kv_value);
+    slots_.payload[slot] = p;
+  }
+  slot_of_uid_.emplace(id, slot);
+  ++outstanding_;
   ++totals_.issued;
+  park(origin, slot);
   return id;
 }
 
@@ -85,19 +152,20 @@ std::uint64_t RequestEngine::submit_get(std::string key,
 
 std::optional<std::uint32_t> RequestEngine::custody_of(
     std::uint64_t id) const {
-  if (id >= reqs_.size()) return std::nullopt;
-  const Request& q = reqs_[id];
-  if (q.status != RequestStatus::kInFlight) return std::nullopt;
-  return q.custody;
+  const auto it = slot_of_uid_.find(id);
+  if (it == slot_of_uid_.end()) return std::nullopt;
+  return slots_.custody[it->second];
 }
 
-void RequestEngine::collect_neighbors(std::uint32_t owner) {
+// -- parallel phase ----------------------------------------------------------
+
+void RequestEngine::build_row(NbrRow& out, std::uint32_t owner) const {
   // The per-owner row of the real projection (§2.2), read from the CURRENT
   // edge sets: live owners reachable over any live slot's unmarked/ring
   // edges to real slots. normalize() ran at the end of the round, so no
   // target references a dead owner here -- dead next-hops are only ever
   // observed by hops already in flight when the owner died.
-  nbrs_.clear();
+  out.clear();
   const core::Network& net = engine_.network();
   for (std::uint32_t i = 0; i < core::kSlotsPerOwner; ++i) {
     const core::Slot s = core::slot_of(owner, i);
@@ -107,111 +175,131 @@ void RequestEngine::collect_neighbors(std::uint32_t owner) {
       for (const core::Slot t : net.edges(s, k)) {
         if (!core::is_real_slot(t) || !net.alive(t)) continue;
         const std::uint32_t w = core::owner_of(t);
-        if (w != owner) nbrs_.push_back(w);
+        // first = owner id for the dedupe sort; replaced by the ring
+        // position below, then re-sorted into position order.
+        if (w != owner) out.emplace_back(RingPos{w}, w);
       }
     }
   }
-  std::sort(nbrs_.begin(), nbrs_.end());
-  nbrs_.erase(std::unique(nbrs_.begin(), nbrs_.end()), nbrs_.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (auto& [pos, w] : out) pos = net.owner_pos(w);
+  std::sort(out.begin(), out.end());
 }
 
-void RequestEngine::launch_hop(Request& q, std::uint32_t next) {
-  ++q.attempt;
+const RequestEngine::NbrRow& RequestEngine::owner_row(Shard& sh,
+                                                      std::uint32_t owner) {
+  // Version-stamped cache: a row stays valid until ANY overlay mutation
+  // bumps topology_version(), so at steady state the 65-slot edge scan runs
+  // once per owner ever instead of once per parked batch per round. The
+  // cached row equals a fresh build_row() bit for bit (the version covers
+  // every input: edges, aliveness; owner positions are immutable), so
+  // outcomes cannot depend on cache hits -- only the wall clock does.
+  const std::uint64_t ver = engine_.network().topology_version();
+  auto it = sh.rows.find(owner);
+  if (it == sh.rows.end()) {
+    if (opt_.row_cache_cap != 0 && sh.rows.size() >= opt_.row_cache_cap)
+      sh.rows.clear();  // epoch dump; hot owners re-warm next round
+    it = sh.rows.emplace(owner, OwnerRow{}).first;
+  }
+  OwnerRow& row = it->second;
+  if (row.stamp != ver) {
+    build_row(row.nbrs, owner);
+    row.stamp = ver;
+  }
+  return row.nbrs;
+}
+
+void RequestEngine::launch_hop(Shard& sh, std::uint32_t slot,
+                               std::uint32_t next) {
+  ++slots_.attempt[slot];
   std::uint32_t extra = 0;
   if (engine_.latency_installed()) {
     const core::DelayClass& cls = engine_.latency_model().cls(
-        engine_.datacenter_of(q.custody), engine_.datacenter_of(next));
+        engine_.datacenter_of(slots_.custody[slot]),
+        engine_.datacenter_of(next));
     if (cls.nonzero())
-      extra = cls.draw(hop_hash(q.id, q.attempt, kSaltDelay));
+      extra = cls.draw(
+          hop_hash(slots_.uid[slot], slots_.attempt[slot], kSaltDelay));
   }
-  q.hop_to = next;
-  q.hop_inflight = true;
-  while (due_.size() <= extra) due_.emplace_back();
-  due_[extra].push_back(q.id);
+  slots_.hop_to[slot] = next;
+  sh.launches.push_back({slot, next, extra});
 }
 
-void RequestEngine::bounce(Request& q, Obstruction obs) {
-  ++q.retries;
-  q.obstruction = obs;
-  q.avoid = q.hop_to;
-  q.hop_to = kNoOwner;
+void RequestEngine::bounce(Shard& sh, std::uint32_t slot, Obstruction obs) {
+  ++slots_.retries[slot];
+  slots_.obstruction[slot] = obs;
+  slots_.avoid[slot] = slots_.hop_to[slot];
+  slots_.hop_to[slot] = kNoOwner;
   switch (obs) {
-    case kObsLoss: ++totals_.loss_bounces; break;
-    case kObsPartition: ++totals_.partition_bounces; break;
-    case kObsDead: ++totals_.dead_hop_bounces; break;
+    case kObsLoss: ++sh.tally.loss_bounces; break;
+    case kObsPartition: ++sh.tally.partition_bounces; break;
+    case kObsDead: ++sh.tally.dead_hop_bounces; break;
     default: break;
   }
-  // The sender itself may have died while the hop was in flight.
-  if (!engine_.network().owner_alive(q.custody)) custody_failover(q);
+  // The sender itself may have died while the hop was in flight. A bounced
+  // request reparks through the merge (its sender usually lives in another
+  // shard) and re-routes at the NEXT round's advancement.
+  if (!engine_.network().owner_alive(slots_.custody[slot]))
+    custody_failover(sh, slot);
+  else
+    sh.reparks.push_back({slot, slots_.custody[slot]});
 }
 
-void RequestEngine::custody_failover(Request& q) {
-  ++totals_.custody_failovers;
-  ++q.retries;
-  if (!engine_.network().owner_alive(q.origin)) {
-    fail(q, RequestStatus::kFailedTimeout);
+void RequestEngine::custody_failover(Shard& sh, std::uint32_t slot) {
+  ++sh.tally.custody_failovers;
+  ++slots_.retries[slot];
+  if (!engine_.network().owner_alive(slots_.origin[slot])) {
+    sh.completions.push_back({slot, RequestStatus::kFailedTimeout});
     return;
   }
-  q.custody = q.origin;
-  q.phase = kForward;
-  q.avoid = kNoOwner;
+  slots_.custody[slot] = slots_.origin[slot];
+  slots_.phase[slot] = kForward;
+  slots_.avoid[slot] = kNoOwner;
+  sh.reparks.push_back({slot, slots_.origin[slot]});
 }
 
-void RequestEngine::deliver(Request& q) {
-  if (q.status != RequestStatus::kInFlight) return;
-  const std::uint32_t to = q.hop_to;
-  q.hop_inflight = false;
+void RequestEngine::deliver(Shard& sh, std::uint32_t slot) {
+  const std::uint32_t to = slots_.hop_to[slot];
   // Delivery-time checks, mirroring the engine's commit pipeline: the loss
   // coin and the partition cut apply against the state of the DELIVERY
   // round, and a next-hop that died mid-flight is detected here.
-  if (util::hash_coin(hop_hash(q.id, q.attempt, kSaltLoss),
-                      engine_.options().message_loss)) {
-    bounce(q, kObsLoss);
+  if (util::hash_coin(
+          hop_hash(slots_.uid[slot], slots_.attempt[slot], kSaltLoss),
+          engine_.options().message_loss)) {
+    bounce(sh, slot, kObsLoss);
     return;
   }
-  if (engine_.partition_cut_owners(q.custody, to)) {
-    bounce(q, kObsPartition);
+  if (engine_.partition_cut_owners(slots_.custody[slot], to)) {
+    bounce(sh, slot, kObsPartition);
     return;
   }
   if (!engine_.network().owner_alive(to)) {
-    bounce(q, kObsDead);
+    bounce(sh, slot, kObsDead);
     return;
   }
-  q.custody = to;
-  q.hop_to = kNoOwner;
-  q.avoid = kNoOwner;
-  q.obstruction = kObsNone;
-  ++q.hops;
+  slots_.custody[slot] = to;
+  slots_.hop_to[slot] = kNoOwner;
+  slots_.avoid[slot] = kNoOwner;
+  slots_.obstruction[slot] = kObsNone;
+  ++slots_.hops[slot];
+  // The new custody owner keys this shard's due queue, so the request parks
+  // locally and takes its next routing step THIS round (same cadence as the
+  // serial engine: deliver, then advance).
+  sh.parked.emplace_back(to, slot);
 }
 
-void RequestEngine::route(Request& q) {
-  // Budget first: a request past its TTL or hop cap fails, classified by
-  // what last stood in its way.
-  if (round_ - q.issue_round >= opt_.ttl_rounds || q.hops >= opt_.hop_cap) {
-    switch (q.obstruction) {
-      case kObsStale: fail(q, RequestStatus::kFailedStaleRouting); return;
-      case kObsPartition: fail(q, RequestStatus::kFailedPartitionLost); return;
-      default: fail(q, RequestStatus::kFailedTimeout); return;
-    }
-  }
-  const core::Network& net = engine_.network();
-  // A request parked on a crashed owner re-routes from its origin instead
-  // of hanging (one round of "timeout detection" latency).
-  if (!net.owner_alive(q.custody)) {
-    custody_failover(q);
+void RequestEngine::route_at_owner(Shard& sh, const NbrRow& row,
+                                   std::uint32_t slot, RingPos cur) {
+  if (row.empty()) {
+    ++slots_.retries[slot];
+    slots_.obstruction[slot] = kObsStale;
+    sh.next_parked.emplace_back(slots_.custody[slot], slot);
     return;
   }
-  const RingPos cur = net.owner_pos(q.custody);
-  if (ident::cw_dist(cur, q.key) == 0) {  // custody sits exactly at the key
-    complete(q);
-    return;
-  }
-  collect_neighbors(q.custody);
-  if (nbrs_.empty()) {
-    ++q.retries;
-    q.obstruction = kObsStale;
-    return;
-  }
+  const RingPos key = slots_.key[slot];
+  const std::uint32_t avoid = slots_.avoid[slot];
+  const std::size_t m = row.size();
   // NOTE(no-ownership-shortcut): a Re-Chord peer has NO reliable leftward
   // pointer -- even at the exact fixpoint a real slot's published rl can be
   // invalid (the region behind a node is covered by its predecessors'
@@ -225,21 +313,150 @@ void RequestEngine::route(Request& q) {
   // takes the trip around the ring, like Chord without predecessor
   // pointers -- O(log n) finger hops, each a real round.
   //
-  // Next-hop selection. When the last hop bounced (avoid), a first pass
-  // excludes it -- the re-route the dead-hop/partition detection promises --
-  // and a second pass re-admits it if the exclusion left no usable
-  // candidate: retrying the obstructed hop beats reporting a stale dead end.
-  const bool avoid_present =
-      q.avoid != kNoOwner &&
-      std::binary_search(nbrs_.begin(), nbrs_.end(), q.avoid);
+  // Next-hop selection over the position-sorted row. The routing rules ask
+  // for circular argmax/argmin around the key, so the candidates are the
+  // key's immediate ring neighbors in the sorted order: one lower_bound plus
+  // at most a couple of steps (skipping the avoid owner) replaces the linear
+  // scan of route_walk(). Selections are identical -- owner positions are
+  // distinct, so argmax/argmin over the same candidate set has one answer.
+  //
+  // First index at/after p on the ring, wrapping past the end.
+  const auto succ_index = [&](RingPos p) {
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), p,
+        [](const std::pair<RingPos, std::uint32_t>& e, RingPos v) {
+          return e.first < v;
+        });
+    const auto i = static_cast<std::size_t>(it - row.begin());
+    return i == m ? 0 : i;
+  };
+  // When the last hop bounced (avoid), a first pass excludes it -- the
+  // re-route the dead-hop/partition detection promises -- and a second pass
+  // re-admits it if the exclusion left no usable candidate: retrying the
+  // obstructed hop beats reporting a stale dead end.
+  bool avoid_present = false;
+  if (avoid != kNoOwner) {
+    const RingPos ap = engine_.network().owner_pos(avoid);
+    const std::size_t i = succ_index(ap);
+    avoid_present = row[i].first == ap && row[i].second == avoid;
+  }
   for (int pass = avoid_present ? 0 : 1; pass < 2; ++pass) {
     const bool exclude_avoid = pass == 0;
-    if (q.phase == kForward) {
-      const RingPos d_h = ident::cw_dist(cur, q.key);
+    if (slots_.phase[slot] == kForward) {
+      const RingPos d_h = ident::cw_dist(cur, key);
+      // Clockwise progress, not past the key: the largest cw_dist(cur, pos)
+      // in (0, d_h), i.e. the closest predecessor of the key inside
+      // (cur, key). Walk counterclockwise from the key; the walk leaves the
+      // interval after at most one avoid skip.
+      std::uint32_t best = kNoOwner;
+      std::size_t i = (succ_index(key) + m - 1) % m;
+      for (std::size_t steps = 0; steps < m; ++steps) {
+        const RingPos d = ident::cw_dist(cur, row[i].first);
+        if (d == 0 || d >= d_h) break;  // at the custody owner / wrapped out
+        if (!(exclude_avoid && row[i].second == avoid)) {
+          best = row[i].second;
+          break;
+        }
+        i = (i + m - 1) % m;
+      }
+      if (best != kNoOwner) {
+        launch_hop(sh, slot, best);
+        return;
+      }
+      // Otherwise the smallest cw_dist(cur, pos) >= d_h: the first known
+      // owner at/after the key, walking clockwise from the key.
+      std::uint32_t succ = kNoOwner;
+      std::size_t j = succ_index(key);
+      for (std::size_t steps = 0; steps < m; ++steps) {
+        const RingPos d = ident::cw_dist(cur, row[j].first);
+        if (d != 0 && d >= d_h &&
+            !(exclude_avoid && row[j].second == avoid)) {
+          succ = row[j].second;
+          break;
+        }
+        j = j + 1 == m ? 0 : j + 1;
+      }
+      if (succ != kNoOwner) {
+        slots_.phase[slot] = kSettle;
+        launch_hop(sh, slot, succ);
+        return;
+      }
+    } else {
+      // Settle: strictly closer clockwise successors of the key only --
+      // the smallest cw_dist(key, pos) < cw_dist(key, cur), again the first
+      // acceptable element clockwise from the key.
+      const RingPos best_d = ident::cw_dist(key, cur);
+      std::uint32_t best = kNoOwner;
+      std::size_t j = succ_index(key);
+      for (std::size_t steps = 0; steps < m; ++steps) {
+        const RingPos d = ident::cw_dist(key, row[j].first);
+        if (d >= best_d) break;  // no neighbor beats the custody owner
+        if (!(exclude_avoid && row[j].second == avoid)) {
+          best = row[j].second;
+          break;
+        }
+        j = j + 1 == m ? 0 : j + 1;
+      }
+      if (best != kNoOwner) {
+        launch_hop(sh, slot, best);
+        return;
+      }
+      if (!exclude_avoid) {
+        // No neighbor beats the custody owner: resolved here.
+        sh.completions.push_back({slot, RequestStatus::kResolved});
+        return;
+      }
+    }
+  }
+  ++slots_.retries[slot];  // stuck: no progress anywhere; retry next round
+  slots_.obstruction[slot] = kObsStale;
+  sh.next_parked.emplace_back(slots_.custody[slot], slot);
+}
+
+void RequestEngine::route_walk(Shard& sh, std::uint32_t slot,
+                               std::uint32_t owner, RingPos cur) {
+  // The pre-shard engine's routing step, preserved verbatim behind
+  // per_request_walk: re-scan the custody owner's edge sets for THIS
+  // request into a sorted owner-id row, then select the next hop with a
+  // linear two-pass scan that looks up each neighbor's position as it goes.
+  // This is the lockstep baseline the batched path must match bit for bit
+  // (see route_at_owner for why the selections coincide).
+  auto& nbrs = sh.walk_nbrs;
+  nbrs.clear();
+  const core::Network& net = engine_.network();
+  for (std::uint32_t i = 0; i < core::kSlotsPerOwner; ++i) {
+    const core::Slot s = core::slot_of(owner, i);
+    if (!net.alive(s)) continue;
+    for (const core::EdgeKind k :
+         {core::EdgeKind::kUnmarked, core::EdgeKind::kRing}) {
+      for (const core::Slot t : net.edges(s, k)) {
+        if (!core::is_real_slot(t) || !net.alive(t)) continue;
+        const std::uint32_t w = core::owner_of(t);
+        if (w != owner) nbrs.push_back(w);
+      }
+    }
+  }
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  if (nbrs.empty()) {
+    ++slots_.retries[slot];
+    slots_.obstruction[slot] = kObsStale;
+    sh.next_parked.emplace_back(slots_.custody[slot], slot);
+    return;
+  }
+  const RingPos key = slots_.key[slot];
+  const std::uint32_t avoid = slots_.avoid[slot];
+  const bool avoid_present =
+      avoid != kNoOwner &&
+      std::binary_search(nbrs.begin(), nbrs.end(), avoid);
+  for (int pass = avoid_present ? 0 : 1; pass < 2; ++pass) {
+    const bool exclude_avoid = pass == 0;
+    if (slots_.phase[slot] == kForward) {
+      const RingPos d_h = ident::cw_dist(cur, key);
       std::uint32_t best = kNoOwner, succ = kNoOwner;
       RingPos best_d = 0, succ_d = 0;
-      for (const std::uint32_t w : nbrs_) {
-        if (exclude_avoid && w == q.avoid) continue;
+      for (const std::uint32_t w : nbrs) {
+        if (exclude_avoid && w == avoid) continue;
         const RingPos d_w = ident::cw_dist(cur, net.owner_pos(w));
         if (d_w == 0) continue;
         if (d_w < d_h) {
@@ -253,137 +470,268 @@ void RequestEngine::route(Request& q) {
         }
       }
       if (best != kNoOwner) {
-        launch_hop(q, best);  // clockwise progress, not passing the key
+        launch_hop(sh, slot, best);
         return;
       }
       if (succ != kNoOwner) {
-        q.phase = kSettle;  // first known owner at/after the key
-        launch_hop(q, succ);
+        slots_.phase[slot] = kSettle;
+        launch_hop(sh, slot, succ);
         return;
       }
     } else {
-      // Settle: strictly closer clockwise successors of the key only.
       std::uint32_t best = kNoOwner;
-      RingPos best_d = ident::cw_dist(q.key, cur);
-      for (const std::uint32_t w : nbrs_) {
-        if (exclude_avoid && w == q.avoid) continue;
-        const RingPos d_w = ident::cw_dist(q.key, net.owner_pos(w));
+      RingPos best_d = ident::cw_dist(key, cur);
+      for (const std::uint32_t w : nbrs) {
+        if (exclude_avoid && w == avoid) continue;
+        const RingPos d_w = ident::cw_dist(key, net.owner_pos(w));
         if (d_w < best_d) {
           best = w;
           best_d = d_w;
         }
       }
       if (best != kNoOwner) {
-        launch_hop(q, best);
+        launch_hop(sh, slot, best);
         return;
       }
       if (!exclude_avoid) {
-        complete(q);  // no neighbor beats the custody owner
+        sh.completions.push_back({slot, RequestStatus::kResolved});
         return;
       }
     }
   }
-  ++q.retries;  // stuck: no neighbor offers any progress; retry next round
-  q.obstruction = kObsStale;
+  ++slots_.retries[slot];
+  slots_.obstruction[slot] = kObsStale;
+  sh.next_parked.emplace_back(slots_.custody[slot], slot);
 }
 
-void RequestEngine::mono_resolved(const Request& q, std::uint32_t result) {
-  mono_[q.key] = {round_, result};
+void RequestEngine::advance_parked(Shard& sh) {
+  // Stable group-by custody owner: sort (owner << 32 | parked-index) keys,
+  // so requests advance in (owner, insertion-order) order and the owner's
+  // edge sets are scanned once per GROUP, amortized over every request
+  // parked there -- the batch advance that replaces per-request walks.
+  auto& keys = sh.group_keys;
+  keys.clear();
+  keys.reserve(sh.parked.size());
+  for (std::uint32_t i = 0; i < sh.parked.size(); ++i)
+    keys.push_back((static_cast<std::uint64_t>(sh.parked[i].first) << 32) |
+                   i);
+  std::sort(keys.begin(), keys.end());
+  sh.next_parked.clear();
+  const core::Network& net = engine_.network();
+  std::size_t g = 0;
+  while (g < keys.size()) {
+    const std::uint32_t owner = static_cast<std::uint32_t>(keys[g] >> 32);
+    std::size_t end = g;
+    while (end < keys.size() &&
+           static_cast<std::uint32_t>(keys[end] >> 32) == owner)
+      ++end;
+    const bool alive = net.owner_alive(owner);
+    const RingPos cur = alive ? net.owner_pos(owner) : RingPos{0};
+    const NbrRow* nbrs = nullptr;
+    for (std::size_t i = g; i < end; ++i) {
+      const std::uint32_t slot =
+          sh.parked[static_cast<std::uint32_t>(keys[i])].second;
+      // Budget first: a request past its TTL or hop cap fails, classified
+      // by what last stood in its way.
+      if (round_ - slots_.issue_round[slot] >= opt_.ttl_rounds ||
+          slots_.hops[slot] >= opt_.hop_cap) {
+        RequestStatus st = RequestStatus::kFailedTimeout;
+        if (slots_.obstruction[slot] == kObsStale)
+          st = RequestStatus::kFailedStaleRouting;
+        else if (slots_.obstruction[slot] == kObsPartition)
+          st = RequestStatus::kFailedPartitionLost;
+        sh.completions.push_back({slot, st});
+        continue;
+      }
+      // A request parked on a crashed owner re-routes from its origin
+      // instead of hanging (one round of "timeout detection" latency).
+      if (!alive) {
+        custody_failover(sh, slot);
+        continue;
+      }
+      if (ident::cw_dist(cur, slots_.key[slot]) == 0) {
+        // Custody sits exactly at the key.
+        sh.completions.push_back({slot, RequestStatus::kResolved});
+        continue;
+      }
+      if (opt_.per_request_walk) {
+        route_walk(sh, slot, owner, cur);  // lockstep baseline: full re-walk
+        continue;
+      }
+      if (nbrs == nullptr) nbrs = &owner_row(sh, owner);
+      route_at_owner(sh, *nbrs, slot, cur);
+    }
+    g = end;
+  }
+  sh.parked.swap(sh.next_parked);
 }
 
-void RequestEngine::mono_unresolved(const Request& q) {
-  const auto it = mono_.find(q.key);
+void RequestEngine::process_shard(Shard& sh) {
+  // 1. Hop deliveries due at this shard's owners this round, in emission
+  // order (successful ones park locally and advance below).
+  sh.deliver_buf.clear();
+  if (!sh.due.empty()) {
+    sh.deliver_buf.swap(sh.due.front());
+    sh.due.pop_front();
+  }
+  for (const std::uint32_t slot : sh.deliver_buf) deliver(sh, slot);
+  // 2. One batched routing step per custody owner over its parked requests.
+  advance_parked(sh);
+}
+
+// -- round driver ------------------------------------------------------------
+
+void RequestEngine::on_round() {
+  round_ = engine_.rounds_executed();
+  if (outstanding_ == 0) return;
+  const unsigned shard_count = static_cast<unsigned>(shards_.size());
+  unsigned ways = opt_.per_request_walk
+                      ? 1u
+                      : std::min(engine_.options().threads, shard_count);
+  if (ways <= 1) {
+    for (Shard& sh : shards_) process_shard(sh);
+  } else {
+    // Stride the logical shards over the engine's workers: worker t takes
+    // shards t, t+ways, ... Shard assignment keys on data (custody owner),
+    // never on the thread, so the thread count cannot reorder anything.
+    core::WorkerPool& pool = engine_.shared_worker_pool(ways);
+    pool.run(ways, [this, ways, shard_count](unsigned t) {
+      for (unsigned s = t; s < shard_count; s += ways)
+        process_shard(shards_[s]);
+    });
+  }
+  merge_round();
+}
+
+void RequestEngine::merge_round() {
+  // Serial, shard-major: completions fold into totals/fingerprint/KV in
+  // shard order (then per-shard emission order), launched hops land in
+  // their TARGET shard's due queue, bounced/failed-over requests repark at
+  // their new custody shard. Deterministic for a fixed shard count
+  // regardless of how many threads ran the phase.
+  for (Shard& sh : shards_) {
+    for (const Completion& c : sh.completions) finish(c.slot, c.status);
+    totals_.loss_bounces += sh.tally.loss_bounces;
+    totals_.partition_bounces += sh.tally.partition_bounces;
+    totals_.dead_hop_bounces += sh.tally.dead_hop_bounces;
+    totals_.custody_failovers += sh.tally.custody_failovers;
+    for (const Launch& l : sh.launches) {
+      Shard& dst = shards_[shard_of(l.to)];
+      while (dst.due.size() <= l.delay) dst.due.emplace_back();
+      dst.due[l.delay].push_back(l.slot);
+    }
+    for (const Repark& r : sh.reparks)
+      shards_[shard_of(r.owner)].parked.emplace_back(r.owner, r.slot);
+    sh.completions.clear();
+    sh.launches.clear();
+    sh.reparks.clear();
+    sh.tally = ShardTally{};
+  }
+  prune_mono_ledger();
+}
+
+// -- completion side effects (serial merge only) -----------------------------
+
+void RequestEngine::mono_resolved(RingPos key, std::uint32_t result) {
+  mono_[key] = {round_, result};
+}
+
+void RequestEngine::mono_unresolved(RingPos key, std::uint32_t origin) {
+  const auto it = mono_.find(key);
   if (it == mono_.end()) return;
   // "Resolved at round r, unresolved at r' > r, both endpoints alive."
   if (it->second.round < round_ &&
       engine_.network().owner_alive(it->second.owner) &&
-      engine_.network().owner_alive(q.origin))
+      engine_.network().owner_alive(origin))
     ++totals_.mono_violations;
 }
 
-void RequestEngine::complete(Request& q) {
-  const std::uint32_t result = q.custody;
-  bool found = false;
-  if (q.kind == RequestKind::kKvPut) {
-    if (kv_) {
-      kv_->put_at(result, q.kv_key, std::move(q.kv_value));
-      ++totals_.puts_stored;
-    }
-  } else if (q.kind == RequestKind::kKvGet) {
-    found = kv_ && kv_->get_at(result, q.kv_key) != nullptr;
-    if (found) {
-      ++totals_.gets_found;
-    } else if (kv_ && kv_->any_live_copy(q.kv_key, engine_.network())) {
-      ++totals_.gets_stale_miss;
-    } else {
-      ++totals_.gets_lost_miss;
-    }
+void RequestEngine::prune_mono_ledger() {
+  if (opt_.mono_ledger_cap == 0 || mono_.size() <= opt_.mono_ledger_cap)
+    return;
+  // Deterministic eviction: drop the entries with the OLDEST resolution
+  // rounds (ties by key) down to 3/4 of the cap, so steady load doesn't
+  // re-prune every round. Pruned keys can no longer witness a violation --
+  // the documented trade for bounded memory under open-loop load.
+  const std::size_t target = opt_.mono_ledger_cap - opt_.mono_ledger_cap / 4;
+  std::vector<std::pair<std::uint64_t, RingPos>> order;
+  order.reserve(mono_.size());
+  for (const auto& [k, e] : mono_) order.emplace_back(e.round, k);
+  const std::size_t drop = mono_.size() - target;
+  std::nth_element(order.begin(), order.begin() + (drop - 1), order.end());
+  std::sort(order.begin(), order.begin() + drop);
+  for (std::size_t i = 0; i < drop; ++i) mono_.erase(order[i].second);
+}
+
+void RequestEngine::finish(std::uint32_t slot, RequestStatus status) {
+  const std::uint64_t id = slots_.uid[slot];
+  const auto kind = static_cast<RequestKind>(slots_.kind[slot]);
+  const RingPos key = slots_.key[slot];
+  const std::uint64_t rif = round_ - slots_.issue_round[slot];
+  const std::uint32_t pay = slots_.payload[slot];
+  std::string kv_key, kv_value;
+  if (pay != kNoPayload) {
+    kv_key = std::move(payloads_[pay].key);
+    kv_value = std::move(payloads_[pay].value);
   }
-  // Searchability ledger: lookups and found gets are successful searches; a
-  // get that reached the responsible owner but missed is an unresolved one.
-  if (q.kind == RequestKind::kLookup ||
-      (q.kind == RequestKind::kKvGet && found))
-    mono_resolved(q, result);
-  else if (q.kind == RequestKind::kKvGet)
-    mono_unresolved(q);
-  finish(q, RequestStatus::kResolved, result, found);
-}
-
-void RequestEngine::fail(Request& q, RequestStatus status) {
-  if (q.kind != RequestKind::kKvPut) mono_unresolved(q);
-  finish(q, status, kNoOwner, false);
-}
-
-void RequestEngine::finish(Request& q, RequestStatus status,
-                           std::uint32_t result, bool found) {
-  q.status = status;
-  const std::uint64_t rif = round_ - q.issue_round;
-  if (status == RequestStatus::kResolved)
+  std::uint32_t result = kNoOwner;
+  bool found = false;
+  if (status == RequestStatus::kResolved) {
+    result = slots_.custody[slot];
+    if (kind == RequestKind::kKvPut) {
+      if (kv_) {
+        kv_->put_at(result, kv_key, std::move(kv_value));
+        ++totals_.puts_stored;
+      }
+    } else if (kind == RequestKind::kKvGet) {
+      found = kv_ && kv_->get_at(result, kv_key) != nullptr;
+      if (found) {
+        ++totals_.gets_found;
+      } else if (kv_ && kv_->any_live_copy(kv_key, engine_.network())) {
+        ++totals_.gets_stale_miss;
+      } else {
+        ++totals_.gets_lost_miss;
+      }
+    }
+    // Searchability ledger: lookups and found gets are successful searches;
+    // a get that reached the responsible owner but missed is unresolved.
+    if (kind == RequestKind::kLookup ||
+        (kind == RequestKind::kKvGet && found))
+      mono_resolved(key, result);
+    else if (kind == RequestKind::kKvGet)
+      mono_unresolved(key, slots_.origin[slot]);
     ++totals_.resolved;
-  else if (status == RequestStatus::kFailedStaleRouting)
-    ++totals_.failed_stale;
-  else if (status == RequestStatus::kFailedPartitionLost)
-    ++totals_.failed_partition;
-  else
-    ++totals_.failed_timeout;
-  if (status == RequestStatus::kResolved) totals_.hops_sum += q.hops;
+    totals_.hops_sum += slots_.hops[slot];
+  } else {
+    if (kind != RequestKind::kKvPut) mono_unresolved(key, slots_.origin[slot]);
+    if (status == RequestStatus::kFailedStaleRouting)
+      ++totals_.failed_stale;
+    else if (status == RequestStatus::kFailedPartitionLost)
+      ++totals_.failed_partition;
+    else
+      ++totals_.failed_timeout;
+  }
   totals_.rounds_sum += rif;
-  totals_.retries_sum += q.retries;
-  totals_.max_rounds_in_flight =
-      std::max(totals_.max_rounds_in_flight, rif);
+  totals_.retries_sum += slots_.retries[slot];
+  totals_.max_rounds_in_flight = std::max(totals_.max_rounds_in_flight, rif);
   // Order-sensitive fold; completions happen in a deterministic order
-  // (delivery-bucket order, then request-id order, per round).
-  std::uint64_t d = util::mix64(q.id * 0x9E3779B97F4A7C15ULL + rif);
+  // (shard-major, then per-shard emission order, per round).
+  std::uint64_t d = util::mix64(id * 0x9E3779B97F4A7C15ULL + rif);
   d ^= util::mix64((static_cast<std::uint64_t>(status) << 40) ^
-                   (static_cast<std::uint64_t>(q.hops) << 20) ^ q.retries);
+                   (static_cast<std::uint64_t>(slots_.hops[slot]) << 20) ^
+                   slots_.retries[slot]);
   d ^= util::mix64((static_cast<std::uint64_t>(result) << 32) |
                    (found ? 1u : 0u));
   totals_.fingerprint = util::mix64(totals_.fingerprint ^ d);
-  completions_.push_back({q.id, q.kind, status, q.issue_round, round_,
-                          q.origin, result, q.hops, q.retries, found,
-                          std::move(q.kv_key)});
-  q.kv_value.clear();
-}
-
-void RequestEngine::on_round() {
-  round_ = engine_.rounds_executed();
-  // 1. Hop deliveries due this round, in emission order.
-  deliver_buf_.clear();
-  if (!due_.empty()) {
-    deliver_buf_.swap(due_.front());
-    due_.pop_front();
+  completions_.push_back({id, kind, status, slots_.issue_round[slot], round_,
+                          slots_.origin[slot], result, slots_.hops[slot],
+                          slots_.retries[slot], found, std::move(kv_key)});
+  if (opt_.completion_cap != 0 &&
+      completions_.size() > opt_.completion_cap) {
+    completions_.pop_front();
+    ++completions_dropped_;
   }
-  for (const std::uint64_t id : deliver_buf_) deliver(reqs_[id]);
-  // 2. One routing step per parked request (newly delivered ones included),
-  // in request-id order.
-  for (const std::uint64_t id : active_) {
-    Request& q = reqs_[id];
-    if (q.status != RequestStatus::kInFlight || q.hop_inflight) continue;
-    route(q);
-  }
-  std::erase_if(active_, [this](std::uint64_t id) {
-    return reqs_[id].status != RequestStatus::kInFlight;
-  });
+  free_slot(slot);
 }
 
 }  // namespace rechord::net

@@ -1,5 +1,5 @@
 #pragma once
-// In-network asynchronous request engine (DESIGN.md §9): application
+// In-network asynchronous request engine (DESIGN.md §9-§10): application
 // requests -- Lookup, KV Put, KV Get -- that live INSIDE the round pipeline
 // instead of routing over an instantaneous snapshot. Each outstanding
 // request resides at a current owner (its custody) and advances at most one
@@ -8,16 +8,57 @@
 // hurts live traffic, exactly the regime in which monotonic-searchability
 // questions exist (Scheideler/Setzer/Strothmann, PAPERS.md).
 //
+// PRODUCTION-TRAFFIC LAYOUT (DESIGN.md §10). The engine is built for
+// open-loop load at millions of outstanding requests:
+//
+//   * Custody state is SHARDED: a fixed number of logical shards
+//     (RequestOptions::shards) partition the owner space; each shard holds
+//     the requests parked at its owners plus its own due-round bucket queue
+//     of in-flight hops targeting them. A round advances every shard
+//     independently -- on the engine's persistent worker pool when the
+//     engine is multi-threaded -- followed by one serial, shard-major merge
+//     that applies completions (KV effects, the monotonic-searchability
+//     ledger, totals, the completion fingerprint) and moves launched hops /
+//     bounced requests into their target shards. The shard count is part of
+//     the determinism contract: for a FIXED shard count, outcomes are
+//     bit-identical across {active-set, full-scan} x any thread count,
+//     because shard assignment keys on the custody owner, every per-shard
+//     order evolves deterministically, and the merge walks shards in index
+//     order (tests/test_request.cpp asserts 1-, 3- and 8-thread runs produce
+//     identical completion SEQUENCES, not just equal fingerprints).
+//
+//   * Advancement is BATCHED per custody owner: a shard stably groups its
+//     parked requests by owner and scans that owner's published edge sets
+//     ONCE per round, amortized over every request parked there -- replacing
+//     the per-request greedy walks that serialized PR 5 under hot keys. The
+//     flag-gated RequestOptions::per_request_walk baseline re-scans per
+//     request on one thread, in the exact same order, and must produce
+//     bit-identical outcomes (the batch scan is a pure amortization); the
+//     sustained-throughput bench measures the two against each other.
+//
+//   * Request records are STRUCT-OF-ARRAYS: the per-request hot fields live
+//     in parallel vectors indexed by a recycled slot id, and the KV payloads
+//     (two std::strings nobody touches while a request routes) live
+//     out-of-line in a pooled side table -- a routing step touches ~40
+//     contiguous bytes per request instead of a 100+-byte record with
+//     embedded strings, which is what stops 10M+ outstanding requests from
+//     cache-missing. Slots are recycled through a free list, so sustained
+//     open-loop runs hold memory proportional to PEAK outstanding requests,
+//     not total issued; the public request id (returned by submit_*, stored
+//     in completion records, and keying every stateless coin) stays a
+//     monotone uid.
+//
 // Hops are messages: each one pays the per-(source-dc, target-dc) delivery
-// delay class of the engine's latency model through the request engine's own
+// delay class of the engine's latency model through its target shard's
 // due-round bucket queue, and at DELIVERY time flips the engine's
 // message-loss coin, respects the active partition cut, and detects a
 // next-hop owner that died mid-flight. A failed hop bounces back to the
-// sender (avoiding the failed next-hop on the re-route); a request whose
-// custody owner crashed fails over to its origin. Requests that exhaust
-// their TTL/hop budget fail with a classification: stale-routing (stuck with
-// no usable next hop), partition-lost (last obstruction was the cut), or
-// timeout (everything else, including origin death).
+// sender (avoiding the failed next-hop on the re-route, which happens at
+// the next round's advancement); a request whose custody owner crashed
+// fails over to its origin. Requests that exhaust their TTL/hop budget fail
+// with a classification: stale-routing (stuck with no usable next hop),
+// partition-lost (last obstruction was the cut), or timeout (everything
+// else, including origin death).
 //
 // Determinism contract: every coin (per-hop delay jitter, loss) is a
 // stateless hash of (seed, request id, attempt) and every routing decision
@@ -49,6 +90,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -87,6 +129,42 @@ struct RequestOptions {
   std::uint32_t hop_cap = 96;
   /// A request older than this many rounds fails at its next routing step.
   std::uint32_t ttl_rounds = 128;
+  /// Logical custody shards (clamped to >= 1). Part of the determinism
+  /// contract: for a FIXED shard count outcomes are bit-identical across
+  /// scheduler modes and thread counts; a different shard count reorders the
+  /// per-round completion sequence (and therefore the fingerprint), exactly
+  /// like choosing a different request seed.
+  std::uint32_t shards = 16;
+  /// Flag-gated comparison baseline (bench/request_throughput, lockstep
+  /// tests): advance on ONE thread with the pre-shard per-request walk --
+  /// a fresh edge scan and a linear next-hop selection with per-neighbor
+  /// position lookups for every request, every round (route_walk). Same
+  /// processing order, bit-identical outcomes -- the batched path's cached
+  /// position-sorted rows and binary-search selection are pure
+  /// amortizations of this walk.
+  bool per_request_walk = false;
+  /// Ring-buffer cap on RETAINED completion records (0 = keep every record,
+  /// the PR 5 behavior). With a cap, completions() holds the most recent
+  /// `completion_cap` records, completions_dropped() counts the evicted
+  /// prefix, and every aggregate in totals() stays exact -- the opt-in that
+  /// keeps sustained open-loop runs at bounded memory.
+  std::size_t completion_cap = 0;
+  /// Cap on the monotonic-searchability ledger (0 = unbounded). When the
+  /// ledger exceeds the cap, the entries with the OLDEST resolution rounds
+  /// are pruned (deterministically: by (round, key) order) down to 3/4 of
+  /// the cap. Pruned keys can no longer witness a violation -- the
+  /// documented trade for bounded memory under open-loop load; totals stay
+  /// exact for everything else.
+  std::size_t mono_ledger_cap = 0;
+  /// Per-shard cap on cached per-owner routing rows (0 = unbounded). Rows
+  /// are validated against Network::topology_version(), so at steady state
+  /// an owner's 65-slot edge scan happens once EVER instead of once per
+  /// round; any overlay mutation invalidates every cached row at its next
+  /// use. When a shard's cache is full and a new owner needs a row, the
+  /// whole shard cache is dumped (epoch eviction) -- hot owners re-warm on
+  /// the next round. Purely an amortization: cached rows are bit-identical
+  /// to fresh scans, so outcomes never depend on the cap.
+  std::size_t row_cache_cap = 1 << 15;
 };
 
 /// Completion record of one request (success or failure).
@@ -113,7 +191,8 @@ struct RequestRecord {
   }
 };
 
-/// Aggregates over every completed request (cumulative).
+/// Aggregates over every completed request (cumulative; always exact,
+/// independent of the completion-record ring cap).
 struct RequestTotals {
   std::uint64_t issued = 0;
   std::uint64_t resolved = 0;
@@ -187,26 +266,44 @@ class RequestEngine {
   std::uint64_t submit_get(std::string key, std::uint32_t origin);
 
   /// Advances every outstanding request by (at most) one hop against the
-  /// committed state of the round that just ran: due hop deliveries first
-  /// (loss/partition/dead-hop checks), then one routing step per parked
-  /// request, in request-id order.
+  /// committed state of the round that just ran: per shard, due hop
+  /// deliveries first (loss/partition/dead-hop checks), then one batched
+  /// routing step per custody owner over its parked requests -- sharded over
+  /// the engine's worker pool when the engine is multi-threaded -- followed
+  /// by the serial shard-major merge that applies completions and hop
+  /// handoffs in a deterministic order.
   void on_round();
 
   // -- introspection --------------------------------------------------------
-  [[nodiscard]] std::size_t inflight() const noexcept {
-    return active_.size();
-  }
+  [[nodiscard]] std::size_t inflight() const noexcept { return outstanding_; }
   [[nodiscard]] const RequestTotals& totals() const noexcept {
     return totals_;
   }
   [[nodiscard]] std::uint64_t fingerprint() const noexcept {
     return totals_.fingerprint;
   }
-  /// Completion records in completion order (kept until cleared).
-  [[nodiscard]] const std::vector<RequestRecord>& completions() const noexcept {
+  /// Retained completion records in completion order. Without a
+  /// completion_cap this is every record since the last clear_completions();
+  /// with one, the most recent completion_cap records (the evicted prefix is
+  /// counted by completions_dropped()).
+  [[nodiscard]] const std::deque<RequestRecord>& completions() const noexcept {
     return completions_;
   }
-  void clear_completions() { completions_.clear(); }
+  /// Records evicted from the front of the completion ring so far (0 without
+  /// a cap). completions_dropped() + completions().size() counts every
+  /// completion since the last clear_completions().
+  [[nodiscard]] std::uint64_t completions_dropped() const noexcept {
+    return completions_dropped_;
+  }
+  void clear_completions() {
+    completions_.clear();
+    completions_dropped_ = 0;
+  }
+  /// Current size of the monotonic-searchability ledger -- the bounded-
+  /// memory metric the sustained-throughput bench and scenario runs watch.
+  [[nodiscard]] std::size_t mono_ledger_size() const noexcept {
+    return mono_.size();
+  }
   /// Current custody owner of an outstanding request; nullopt once it
   /// completed (test instrumentation).
   [[nodiscard]] std::optional<std::uint32_t> custody_of(
@@ -224,43 +321,153 @@ class RequestEngine {
     kObsDead,       // next-hop owner died mid-flight
   };
 
-  struct Request {
-    std::uint64_t id = 0;
-    RingPos key = 0;
-    std::uint64_t issue_round = 0;
-    std::uint32_t origin = 0;
-    std::uint32_t custody = 0;
-    std::uint32_t hop_to = UINT32_MAX;  // valid while hop_inflight
-    std::uint32_t avoid = UINT32_MAX;   // last bounced next-hop
-    std::uint32_t hops = 0;
-    std::uint32_t retries = 0;
-    std::uint32_t attempt = 0;  // hop launches (keys the stateless coins)
-    RequestKind kind = RequestKind::kLookup;
-    RequestStatus status = RequestStatus::kInFlight;
-    Phase phase = kForward;
-    Obstruction obstruction = kObsNone;
-    bool hop_inflight = false;
-    std::string kv_key, kv_value;  // kKvPut / kKvGet payloads
+  /// A hop launched this round, recorded in emission order; the merge hands
+  /// it to shard_of(to)'s due bucket `delay` rounds out.
+  struct Launch {
+    std::uint32_t slot;
+    std::uint32_t to;
+    std::uint32_t delay;
+  };
+  /// A request re-entering the parked state at a (possibly remote) owner:
+  /// delivery bounces and custody failovers. Routed at the NEXT round's
+  /// advancement.
+  struct Repark {
+    std::uint32_t slot;
+    std::uint32_t owner;
+  };
+  /// A request that finished this round; all side effects (KV, mono ledger,
+  /// totals, fingerprint, record) are applied at the serial merge.
+  struct Completion {
+    std::uint32_t slot;
+    RequestStatus status;
+  };
+  /// Additive per-shard counters folded into totals_ at the merge.
+  struct ShardTally {
+    std::uint64_t loss_bounces = 0;
+    std::uint64_t partition_bounces = 0;
+    std::uint64_t dead_hop_bounces = 0;
+    std::uint64_t custody_failovers = 0;
+  };
+
+  /// Per-owner routing row: the live owners reachable over the owner's
+  /// unmarked/ring edges as (ring position, owner id), sorted by position.
+  /// The position order turns next-hop selection into binary searches
+  /// around the key -- the clockwise argmax/argmin the routing rules ask
+  /// for are the key's circular neighbors in this array.
+  using NbrRow = std::vector<std::pair<RingPos, std::uint32_t>>;
+  /// A cached NbrRow, valid while the network's topology_version() still
+  /// equals `stamp` (0 = never computed; the version counter starts at 1).
+  struct OwnerRow {
+    std::uint64_t stamp = 0;
+    NbrRow nbrs;
+  };
+
+  struct Shard {
+    /// Requests parked at this shard's owners: (custody owner, slot) in
+    /// deterministic insertion order -- submissions, then merge handoffs in
+    /// shard-major order, then this shard's own deliveries.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parked;
+    /// Routing rows of this shard's owners, keyed by custody owner --
+    /// written only by this shard's worker (an owner maps to exactly one
+    /// shard), so the cache is race-free under the parallel phase.
+    std::unordered_map<std::uint32_t, OwnerRow> rows;
+    /// due[k]: slots whose in-flight hop delivers HERE at the k-th next
+    /// on_round (the front bucket is this round's deliveries); emission
+    /// order within a bucket is preserved, like the engine's in-flight
+    /// queue.
+    std::deque<std::vector<std::uint32_t>> due;
+    // Per-round outputs, written only by this shard's worker, consumed by
+    // the serial merge.
+    std::vector<Launch> launches;
+    std::vector<Repark> reparks;
+    std::vector<Completion> completions;
+    ShardTally tally;
+    // Scratch reused across rounds.
+    std::vector<std::uint64_t> group_keys;  // (owner << 32 | parked index)
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> next_parked;
+    std::vector<std::uint32_t> deliver_buf;
+    /// Walk-mode scratch: the PR 5 owner-id row (sorted unique owner ids,
+    /// positions looked up during the scan), rebuilt per request.
+    std::vector<std::uint32_t> walk_nbrs;
+  };
+
+  /// SoA request state, indexed by a recycled slot id. A slot is referenced
+  /// by exactly one container at any time -- one shard's parked list or one
+  /// shard's due queue -- so the parallel phase writes disjoint indices.
+  /// The vectors are only resized at submit time (serial, between rounds).
+  struct SlotArrays {
+    std::vector<std::uint64_t> uid;          // public request id (coin key)
+    std::vector<RingPos> key;                // target ring position
+    std::vector<std::uint64_t> issue_round;
+    std::vector<std::uint32_t> origin;
+    std::vector<std::uint32_t> custody;
+    std::vector<std::uint32_t> hop_to;  // valid while the hop is in flight
+    std::vector<std::uint32_t> avoid;   // last bounced next-hop
+    std::vector<std::uint32_t> hops;
+    std::vector<std::uint32_t> retries;
+    std::vector<std::uint32_t> attempt;  // hop launches (keys the coins)
+    std::vector<std::uint8_t> kind;         // RequestKind
+    std::vector<std::uint8_t> phase;        // Phase
+    std::vector<std::uint8_t> obstruction;  // Obstruction
+    /// Index into the out-of-line payload pool; kNoPayload for lookups.
+    std::vector<std::uint32_t> payload;
+
+    [[nodiscard]] std::size_t size() const noexcept { return uid.size(); }
+    void grow_one();
+  };
+  /// Out-of-line KV payloads (kKvPut / kKvGet); pooled and recycled like
+  /// slots so routing never walks over string storage.
+  struct KvPayload {
+    std::string key, value;
   };
 
   std::uint64_t submit(RequestKind kind, RingPos key, std::uint32_t origin,
                        std::string kv_key, std::string kv_value);
-  void deliver(Request& q);
-  void route(Request& q);
-  void launch_hop(Request& q, std::uint32_t next);
-  void bounce(Request& q, Obstruction obs);
+  [[nodiscard]] std::uint32_t alloc_slot();
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t owner) const noexcept {
+    return owner % static_cast<std::uint32_t>(shards_.size());
+  }
+  void park(std::uint32_t owner, std::uint32_t slot) {
+    shards_[shard_of(owner)].parked.emplace_back(owner, slot);
+  }
+
+  // -- parallel phase (per shard; reads engine state, writes only this
+  // shard's slots and outputs) ----------------------------------------------
+  void process_shard(Shard& sh);
+  void deliver(Shard& sh, std::uint32_t slot);
+  void bounce(Shard& sh, std::uint32_t slot, Obstruction obs);
   /// Custody owner died holding the request: fail over to the origin (or
   /// fail the request when the origin is gone too).
-  void custody_failover(Request& q);
-  void complete(Request& q);
-  void fail(Request& q, RequestStatus status);
-  void finish(Request& q, RequestStatus status, std::uint32_t result,
-              bool found);
+  void custody_failover(Shard& sh, std::uint32_t slot);
+  void advance_parked(Shard& sh);
+  /// Routes one parked request against the position-sorted cached row of
+  /// its custody owner: binary searches around the key instead of a linear
+  /// scan, selecting exactly the neighbor the scan would select.
+  void route_at_owner(Shard& sh, const NbrRow& row, std::uint32_t slot,
+                      RingPos cur);
+  /// The per-request-walk baseline (PR 5's routing step, preserved): a
+  /// fresh owner-id edge scan for THIS request, then the linear two-pass
+  /// selection with per-neighbor position lookups. Must pick the same hop
+  /// as route_at_owner -- the lockstep tests hold the two algorithms
+  /// bit-identical on randomized topologies.
+  void route_walk(Shard& sh, std::uint32_t slot, std::uint32_t owner,
+                  RingPos cur);
+  void launch_hop(Shard& sh, std::uint32_t slot, std::uint32_t next);
+  /// Scans the owner's live slots' unmarked/ring edges into `out`,
+  /// position-sorted.
+  void build_row(NbrRow& out, std::uint32_t owner) const;
+  /// The owner's routing row through the shard's version-stamped cache.
+  const NbrRow& owner_row(Shard& sh, std::uint32_t owner);
+
+  // -- serial merge ---------------------------------------------------------
+  void merge_round();
+  void finish(std::uint32_t slot, RequestStatus status);
   /// Records / checks the monotonic-searchability ledger for a completing
   /// search (kLookup, kKvGet).
-  void mono_resolved(const Request& q, std::uint32_t result);
-  void mono_unresolved(const Request& q);
-  void collect_neighbors(std::uint32_t owner);
+  void mono_resolved(RingPos key, std::uint32_t result);
+  void mono_unresolved(RingPos key, std::uint32_t origin);
+  void prune_mono_ledger();
+  void free_slot(std::uint32_t slot);
   [[nodiscard]] std::uint64_t hop_hash(std::uint64_t id, std::uint32_t attempt,
                                        std::uint64_t salt) const noexcept;
 
@@ -269,21 +476,26 @@ class RequestEngine {
   dht::KvStore* kv_ = nullptr;
   std::uint64_t round_ = 0;  // engine round the current on_round reacts to
 
-  std::vector<Request> reqs_;          // dense by request id
-  std::vector<std::uint64_t> active_;  // outstanding ids, ascending
-  /// due_[k]: request ids whose in-flight hop delivers at the k-th next
-  /// on_round (the front bucket is this round's deliveries). Emission order
-  /// within a bucket is preserved, like the engine's in-flight queue.
-  std::deque<std::vector<std::uint64_t>> due_;
-  std::vector<std::uint64_t> deliver_buf_;
-  std::vector<std::uint32_t> nbrs_;  // neighbor scratch, sorted unique
+  SlotArrays slots_;
+  std::vector<KvPayload> payloads_;
+  std::vector<std::uint32_t> payload_free_;
+  std::vector<std::uint32_t> slot_free_;
+  std::uint64_t next_uid_ = 0;
+  std::size_t outstanding_ = 0;
+  /// uid -> slot for OUTSTANDING requests only (custody_of instrumentation);
+  /// never iterated, so the unordered layout cannot leak into outcomes.
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of_uid_;
+
+  std::vector<Shard> shards_;
+
   /// Monotonic-searchability ledger: key -> (last resolution round, owner).
   struct MonoEntry {
     std::uint64_t round = 0;
     std::uint32_t owner = 0;
   };
   std::map<RingPos, MonoEntry> mono_;
-  std::vector<RequestRecord> completions_;
+  std::deque<RequestRecord> completions_;
+  std::uint64_t completions_dropped_ = 0;
   RequestTotals totals_;
 };
 

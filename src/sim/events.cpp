@@ -38,6 +38,9 @@ const char* event_name(const Event& e) {
     const char* operator()(const KvProbe&) const { return "kv-probe"; }
     const char* operator()(const KvRebalance&) const { return "kv-rebalance"; }
     const char* operator()(const LookupLoad&) const { return "lookup-load"; }
+    const char* operator()(const PoissonLookupLoad&) const {
+      return "open-loop-load";
+    }
     const char* operator()(const AwaitRequestsDrained&) const {
       return "await-requests";
     }

@@ -188,6 +188,22 @@ struct LookupLoad {
   LoadKind kind = LoadKind::kLookup;
 };
 
+/// Open-loop Poisson arrival process (production traffic, DESIGN.md §10):
+/// for `rounds` rounds, draw k ~ Poisson(requests_per_round) fresh requests
+/// of `kind`, submit them through the request engine, then run the round.
+/// Unlike LookupLoad's one-shot batch, arrivals keep coming REGARDLESS of
+/// how many requests are still outstanding -- the load never waits for the
+/// system -- so queue growth vs drain rate is the measured quantity (the
+/// per-round CSV's req_inflight column plots it). Keys and origins draw
+/// from the scenario rng stream like every other event, so the arrival
+/// schedule is deterministic in (scenario, params) and identical across
+/// scheduler modes and thread counts.
+struct PoissonLookupLoad {
+  double requests_per_round = 32.0;
+  std::uint64_t rounds = 16;
+  LoadKind kind = LoadKind::kLookup;
+};
+
 /// Runs rounds until every outstanding request completed (cap `max_rounds`),
 /// recording a CheckpointResult: passed iff the requests drained in time
 /// and -- when `require_no_mono_violations` -- no monotonic-searchability
@@ -205,7 +221,8 @@ using Event =
                  Scramble, CrashRestart, AssignDatacenters, SetLatencyModel,
                  SetMessageLoss, SetSleep, PartitionBegin, PartitionEnd,
                  RunRounds, Checkpoint, AwaitAlmost, KvLoad, KvProbe,
-                 KvRebalance, LookupLoad, AwaitRequestsDrained>;
+                 KvRebalance, LookupLoad, PoissonLookupLoad,
+                 AwaitRequestsDrained>;
 
 /// Short kind name for logs and the per-round CSV ("join-burst", ...).
 [[nodiscard]] const char* event_name(const Event& e);

@@ -68,9 +68,15 @@ class ScenarioRunner {
       // loop, PoissonChurn) drove the step.
       req_.on_round();
       // Resolved live puts make their keys eligible for later kKvGet draws.
+      // Indexing is offset by the records evicted from the completion ring
+      // (completions_dropped() is 0 without a cap, so this degenerates to a
+      // plain scan); a cap must exceed one round's completions for the
+      // harvest to see every put.
       const auto& comps = req_.completions();
-      for (; completions_seen_ < comps.size(); ++completions_seen_) {
-        const auto& rec = comps[completions_seen_];
+      const std::uint64_t base = req_.completions_dropped();
+      if (completions_seen_ < base) completions_seen_ = base;
+      for (; completions_seen_ < base + comps.size(); ++completions_seen_) {
+        const auto& rec = comps[completions_seen_ - base];
         if (rec.kind == net::RequestKind::kKvPut &&
             rec.status == net::RequestStatus::kResolved)
           keys_.push_back(rec.key);
@@ -416,32 +422,52 @@ class ScenarioRunner {
     kv_.rebalance(view);
   }
 
-  void apply(const LookupLoad& e) {
-    const auto owners = engine_.network().live_owners();
-    for (std::size_t i = 0; i < e.count; ++i) {
-      const std::uint32_t from = owners[rng_.below(owners.size())];
-      switch (e.kind) {
-        case LoadKind::kKvPut: {
-          // The key becomes gettable only once the put RESOLVES (the
-          // observer below watches completions): a get drawn against a
-          // still-in-flight or failed put would misread its miss as data
-          // loss.
-          const std::string key = "live-" + std::to_string(live_puts_++);
-          req_.submit_put(key, "value-" + key, from);
+  /// One request submission of the given kind, origin and key drawn from
+  /// the scenario rng stream -- shared by the one-shot LookupLoad batch and
+  /// the open-loop PoissonLookupLoad arrival process.
+  void submit_one(LoadKind kind,
+                  const std::vector<std::uint32_t>& owners) {
+    const std::uint32_t from = owners[rng_.below(owners.size())];
+    switch (kind) {
+      case LoadKind::kKvPut: {
+        // The key becomes gettable only once the put RESOLVES (the
+        // observer above watches completions): a get drawn against a
+        // still-in-flight or failed put would misread its miss as data
+        // loss.
+        const std::string key = "live-" + std::to_string(live_puts_++);
+        req_.submit_put(key, "value-" + key, from);
+        break;
+      }
+      case LoadKind::kKvGet:
+        if (!keys_.empty()) {
+          req_.submit_get(keys_[rng_.below(keys_.size())], from);
           break;
         }
-        case LoadKind::kKvGet:
-          if (!keys_.empty()) {
-            req_.submit_get(keys_[rng_.below(keys_.size())], from);
-            break;
-          }
-          [[fallthrough]];  // nothing loaded yet: degrade to pure lookups
-        case LoadKind::kLookup:
-          req_.submit_lookup(rng_.next(), from);
-          break;
-      }
+        [[fallthrough]];  // nothing loaded yet: degrade to pure lookups
+      case LoadKind::kLookup:
+        req_.submit_lookup(rng_.next(), from);
+        break;
     }
+  }
+
+  void apply(const LookupLoad& e) {
+    const auto owners = engine_.network().live_owners();
+    for (std::size_t i = 0; i < e.count; ++i) submit_one(e.kind, owners);
     note_event("load x" + std::to_string(e.count));
+  }
+
+  void apply(const PoissonLookupLoad& e) {
+    // Open-loop: submit this round's Poisson draw, run the round, repeat --
+    // arrivals never wait for the outstanding queue. The live-owner set is
+    // re-read each round (membership may drift under concurrent churn
+    // events earlier in the timeline; within this event it is stable).
+    for (std::uint64_t r = 0; r < e.rounds; ++r) {
+      const auto owners = engine_.network().live_owners();
+      for (std::size_t k = poisson(e.requests_per_round); k > 0; --k)
+        submit_one(e.kind, owners);
+      engine_.step();
+    }
+    note_event("open-loop x" + std::to_string(e.rounds));
   }
 
   void apply(const AwaitRequestsDrained& e) {
@@ -478,7 +504,7 @@ class ScenarioRunner {
   net::RequestEngine req_;
   std::vector<std::string> keys_;
   std::size_t live_puts_ = 0;
-  std::size_t completions_seen_ = 0;
+  std::uint64_t completions_seen_ = 0;
   std::vector<std::uint64_t> dc_streak_;
   std::optional<util::CsvWriter> csv_;
   std::string pending_events_;
@@ -845,6 +871,85 @@ Scenario build_flash_crowd_live(const ScenarioParams& p) {
   return sc;
 }
 
+// -- open-loop production-traffic scenarios (DESIGN.md §10) ------------------
+//
+// These drive the request engine with a Poisson ARRIVAL PROCESS instead of
+// one-shot batches: requests keep arriving every round whether or not the
+// previous ones completed, so the per-round CSV's req_inflight column shows
+// queue growth vs drain rate -- the quantity that decides whether the
+// sharded engine keeps up with production traffic. Both scenarios cap the
+// completion ring and the searchability ledger, exercising the bounded-
+// memory path (the caps change NO outcome: totals and fingerprints are
+// cap-independent).
+
+// The CI sustained-throughput smoke: stabilize a 20k-peer overlay (almost-
+// stability -- the exact fixpoint has an O(n) connection-edge tail at this
+// scale, see build_sustained_churn), then pour open-loop lookups and gets
+// through it and require the queue to drain with ZERO monotonic-
+// searchability violations via the runner exit code. No churn runs during
+// the load, so every key routes identically each time it is probed.
+Scenario build_open_loop_lookups(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "open-loop-lookups";
+  sc.description =
+      "open-loop Poisson lookup/get traffic against a stabilized 20k-peer "
+      "overlay: steady arrivals for --ops*10 rounds, then the queue must "
+      "drain violation-free (the sustained-throughput CI smoke)";
+  sc.n = resolve(p.n, 20000);
+  sc.requests.completion_cap = 4096;
+  sc.requests.mono_ledger_cap = 1 << 16;
+  const double rate = resolve_p(p.intensity, 200.0);
+  const std::uint64_t waves = resolve(p.ops, 3);
+  sc.timeline.push_back(
+      AwaitAlmost{.label = "bootstrap-almost", .max_rounds = 4000});
+  sc.timeline.push_back(KvLoad{.keys = 64});
+  sc.timeline.push_back(PoissonLookupLoad{.requests_per_round = rate,
+                                          .rounds = waves * 6,
+                                          .kind = LoadKind::kLookup});
+  sc.timeline.push_back(PoissonLookupLoad{.requests_per_round = rate,
+                                          .rounds = waves * 4,
+                                          .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(AwaitRequestsDrained{
+      .label = "open-loop-drain", .require_no_mono_violations = true});
+  return sc;
+}
+
+Scenario build_open_loop_flash_crowd(const ScenarioParams& p) {
+  Scenario sc;
+  sc.name = "open-loop-flash-crowd";
+  sc.description =
+      "open-loop traffic through a flash crowd: steady Poisson lookups keep "
+      "arriving while n/2 peers join in one round, then the healed overlay "
+      "serves a violation-free get wave";
+  sc.n = resolve(p.n, 48);
+  sc.requests.completion_cap = 4096;
+  sc.requests.mono_ledger_cap = 1 << 16;
+  const std::size_t joiners = std::max<std::size_t>(1, sc.n / 2);
+  const double rate = resolve_p(p.intensity, 8.0);
+  const std::uint64_t waves = resolve(p.ops, 3);
+  sc.timeline.push_back(Checkpoint{.label = "bootstrap"});
+  sc.timeline.push_back(KvLoad{.keys = 64});
+  sc.timeline.push_back(PoissonLookupLoad{.requests_per_round = rate,
+                                          .rounds = waves * 2,
+                                          .kind = LoadKind::kLookup});
+  sc.timeline.push_back(JoinBurst{.count = joiners});
+  // Mid-heal arrivals are pure lookups of fresh random keys -- no key ever
+  // repeats, so the storm cannot manufacture searchability violations; the
+  // violation gate applies to the post-heal get wave below.
+  sc.timeline.push_back(PoissonLookupLoad{.requests_per_round = rate,
+                                          .rounds = waves * 3,
+                                          .kind = LoadKind::kLookup});
+  sc.timeline.push_back(AwaitRequestsDrained{.label = "mid-heal-drain"});
+  sc.timeline.push_back(Checkpoint{.label = "healed"});
+  sc.timeline.push_back(KvRebalance{});
+  sc.timeline.push_back(PoissonLookupLoad{.requests_per_round = rate,
+                                          .rounds = waves * 2,
+                                          .kind = LoadKind::kKvGet});
+  sc.timeline.push_back(AwaitRequestsDrained{
+      .label = "stable-drain", .require_no_mono_violations = true});
+  return sc;
+}
+
 }  // namespace
 
 ScenarioOutcome run_scenario(const Scenario& scenario,
@@ -865,7 +970,8 @@ const std::vector<ScenarioInfo>& scenario_registry() {
           &build_adversarial_recovery, &build_poisson_storm,
           &build_crash_restart, &build_wan_two_dc, &build_flash_crowd_3dc,
           &build_sustained_churn, &build_lookups_poisson_churn,
-          &build_lookups_wan_partition, &build_flash_crowd_live}) {
+          &build_lookups_wan_partition, &build_flash_crowd_live,
+          &build_open_loop_lookups, &build_open_loop_flash_crowd}) {
       const Scenario sc = build(ScenarioParams{});
       reg.push_back({sc.name, sc.description, build});
     }

@@ -1,8 +1,55 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace rechord::util {
+
+namespace {
+
+// Strict numeric parsing: the whole value must be consumed (with optional
+// surrounding spaces, which strtoll itself skips on the left) and must fit
+// the type. A null endptr would silently accept "10x00" as 10 and turn
+// garbage into 0 -- a typo'd --n then runs a completely different
+// experiment that LOOKS fine. Errors name the offending option and value.
+std::int64_t parse_int(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str())
+    throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                text + "'");
+  while (*end == ' ') ++end;
+  if (*end != '\0')
+    throw std::invalid_argument("--" + key +
+                                ": trailing characters after integer in '" +
+                                text + "'");
+  if (errno == ERANGE)
+    throw std::invalid_argument("--" + key + ": integer out of range: '" +
+                                text + "'");
+  return v;
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str())
+    throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                text + "'");
+  while (*end == ' ') ++end;
+  if (*end != '\0')
+    throw std::invalid_argument("--" + key +
+                                ": trailing characters after number in '" +
+                                text + "'");
+  if (errno == ERANGE)
+    throw std::invalid_argument("--" + key + ": number out of range: '" +
+                                text + "'");
+  return v;
+}
+
+}  // namespace
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -44,13 +91,13 @@ std::string Cli::get(const std::string& key, const std::string& fallback) const 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int(key, it->second);
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto it = kv_.find(key);
   if (it == kv_.end() || it->second.empty()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double(key, it->second);
 }
 
 std::vector<std::int64_t> Cli::get_int_list(
@@ -64,8 +111,7 @@ std::vector<std::int64_t> Cli::get_int_list(
     auto comma = s.find(',', start);
     if (comma == std::string::npos) comma = s.size();
     if (comma > start)
-      out.push_back(std::strtoll(s.substr(start, comma - start).c_str(),
-                                 nullptr, 10));
+      out.push_back(parse_int(key, s.substr(start, comma - start)));
     start = comma + 1;
   }
   return out.empty() ? fallback : out;

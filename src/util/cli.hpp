@@ -22,11 +22,17 @@ class Cli {
   [[nodiscard]] bool get_flag(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const;
+  /// Numeric accessors parse STRICTLY: the whole value must be a valid
+  /// in-range number, and a malformed one (`--n 10x00`, `--seed abc`)
+  /// throws std::invalid_argument naming the option -- a silently truncated
+  /// typo would run a different experiment that looks fine. Absent keys and
+  /// empty values still return the fallback.
   [[nodiscard]] std::int64_t get_int(const std::string& key,
                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& key,
                                   double fallback) const;
-  /// Comma-separated integer list, e.g. --sizes 5,15,25.
+  /// Comma-separated integer list, e.g. --sizes 5,15,25 (each element
+  /// parsed strictly like get_int).
   [[nodiscard]] std::vector<std::int64_t> get_int_list(
       const std::string& key, std::vector<std::int64_t> fallback) const;
 

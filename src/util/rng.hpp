@@ -80,6 +80,21 @@ class Rng {
 /// the churn schedules (a few events per round). Always consumes at least
 /// one draw, so a rate-0 caller keeps the same stream as a rate-eps one.
 [[nodiscard]] inline std::size_t poisson_knuth(Rng& rng, double rate) {
+  // Knuth's product-of-uniforms method underflows for large rates:
+  // exp(-rate) is 0.0 below DBL_MIN (rate >~ 745) and the running product
+  // hits 0 after ~745 factors, silently capping every draw near 745/e no
+  // matter the rate. Split large rates into independent chunks --
+  // Poisson(a + b) = Poisson(a) + Poisson(b) -- so open-loop loads of
+  // thousands of arrivals per round draw correctly. Chunks consume the
+  // rng stream in a fixed order, so draws stay deterministic, and rates
+  // <= 500 are bit-compatible with the unchunked method.
+  std::size_t total = 0;
+  for (; rate > 500.0; rate -= 500.0) {
+    const double limit = std::exp(-500.0);
+    std::size_t k = 0;
+    for (double p = rng.uniform01(); p > limit; p *= rng.uniform01()) ++k;
+    total += k;
+  }
   const double limit = std::exp(-rate);
   std::size_t k = 0;
   double p = 1.0;
@@ -87,7 +102,7 @@ class Rng {
     ++k;
     p *= rng.uniform01();
   } while (p > limit);
-  return k - 1;
+  return total + k - 1;
 }
 
 /// n distinct uniform 64-bit values (rejection on duplicates); n << 2^64.

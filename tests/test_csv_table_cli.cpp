@@ -147,5 +147,56 @@ TEST(Cli, DoubleValues) {
   EXPECT_DOUBLE_EQ(cli.get_double("p", 0.0), 0.25);
 }
 
+// Strict numeric parsing: a typo'd value must throw, not silently truncate
+// to a prefix ("--n 10x00" used to parse as 10) or collapse to 0.
+
+TEST(Cli, MalformedIntegerThrows) {
+  const char* argv[] = {"prog", "--n", "10x00", "--seed", "abc"};
+  const Cli cli(5, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_int("seed", 0), std::invalid_argument);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending option and value.
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("10x00"), std::string::npos);
+  }
+}
+
+TEST(Cli, MalformedDoubleThrows) {
+  const char* argv[] = {"prog", "--p", "0.5q", "--q", "..1"};
+  const Cli cli(5, argv);
+  EXPECT_THROW((void)cli.get_double("p", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double("q", 0.0), std::invalid_argument);
+}
+
+TEST(Cli, OutOfRangeIntegerThrows) {
+  const char* argv[] = {"prog", "--n", "99999999999999999999999"};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, MalformedListElementThrows) {
+  const char* argv[] = {"prog", "--sizes", "5,1x5,25"};
+  const Cli cli(3, argv);
+  EXPECT_THROW((void)cli.get_int_list("sizes", {}), std::invalid_argument);
+}
+
+TEST(Cli, StrictParsingStillAcceptsValidForms) {
+  const char* argv[] = {"prog", "--a", "-12", "--b", "+34",
+                        "--c", "1e3", "--d", "-0.5"};
+  const Cli cli(9, argv);
+  EXPECT_EQ(cli.get_int("a", 0), -12);
+  EXPECT_EQ(cli.get_int("b", 0), 34);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0.0), -0.5);
+  // Empty values (bare `--key` before another option) still fall back.
+  const char* bare[] = {"prog", "--n", "--full-scan"};
+  const Cli none(3, bare);
+  EXPECT_EQ(none.get_int("n", 42), 42);
+}
+
 }  // namespace
 }  // namespace rechord::util

@@ -287,6 +287,246 @@ TEST(RequestLatency, ZeroDelaySpikeModelBitIdenticalToPlainPipeline) {
   }
 }
 
+// -- sharded/batched engine (DESIGN.md §10) ----------------------------------
+
+// The open-loop determinism contract (satellite): fixed-seed OPEN-LOOP
+// Poisson traffic -- arrivals that never wait for the outstanding queue --
+// produces bit-identical request fingerprints across {active, full-scan} x
+// {1, 8 threads}, for both open-loop scenarios.
+TEST(RequestEngine, OpenLoopPoissonFingerprintsAcrossSchedulerModes) {
+  for (const char* name : {"open-loop-lookups", "open-loop-flash-crowd"}) {
+    sim::ScenarioParams base;
+    base.n = 64;
+    base.seed = 21;
+    base.ops = 2;
+    base.intensity = 6.0;
+    std::vector<sim::ScenarioOutcome> runs;
+    for (const bool full_scan : {false, true})
+      for (const unsigned threads : {1U, 8U}) {
+        sim::ScenarioParams params = base;
+        params.engine.full_scan = full_scan;
+        params.engine.threads = threads;
+        runs.push_back(sim::run_registered_scenario(name, params));
+      }
+    const auto& ref = runs.front();
+    EXPECT_TRUE(ref.ok) << name;
+    EXPECT_GT(ref.requests.issued, 0U) << name;
+    for (std::size_t v = 1; v < runs.size(); ++v) {
+      ASSERT_EQ(runs[v].requests.fingerprint, ref.requests.fingerprint)
+          << name << " variant " << v;
+      ASSERT_EQ(runs[v].requests.issued, ref.requests.issued) << name;
+      ASSERT_EQ(runs[v].requests.resolved, ref.requests.resolved) << name;
+      ASSERT_EQ(runs[v].requests.mono_violations,
+                ref.requests.mono_violations)
+          << name;
+      ASSERT_EQ(runs[v].final_fingerprint, ref.final_fingerprint) << name;
+    }
+  }
+}
+
+// Batch advance vs per-request walk, in LOCKSTEP on randomized topologies:
+// the batched owner-scan is a pure amortization, so with identical seeds,
+// faults and churn the two modes must agree on the inflight count and the
+// running fingerprint after EVERY round -- not just at the end -- and on
+// every completion record field.
+TEST(RequestEngine, BatchAdvanceMatchesPerRequestWalkLockstep) {
+  for (const std::uint64_t seed : {29ULL, 101ULL, 777ULL}) {
+    auto make = [&](bool walk) {
+      core::EngineOptions eopt;
+      eopt.threads = walk ? 1U : 8U;
+      core::Engine engine = stable_engine(44, seed, eopt);
+      std::vector<std::uint8_t> dc(engine.network().owner_count());
+      for (std::uint32_t o = 0; o < dc.size(); ++o) dc[o] = o % 2;
+      engine.assign_datacenters(std::move(dc));
+      engine.set_latency_model(
+          core::LatencyModel::uniform(2, core::DelayClass{1, 1}, 5));
+      engine.set_message_loss(0.05);
+      return engine;
+    };
+    core::Engine batch_engine = make(false);
+    core::Engine walk_engine = make(true);
+    RequestOptions ropt;
+    ropt.seed = seed * 0x9E3779B97F4A7C15ULL;
+    RequestOptions wopt = ropt;
+    wopt.per_request_walk = true;
+    RequestEngine batch(batch_engine, ropt);
+    RequestEngine walk(walk_engine, wopt);
+    // Open-loop-ish drive: a trickle of new lookups every round, two crash
+    // waves mid-flight (same victims on both networks, which are
+    // bit-identical), then drain.
+    util::Rng rng(seed ^ 0xABCDEF);
+    const auto owners = batch_engine.network().live_owners();
+    for (int r = 0; r < 40; ++r) {
+      if (r < 20)
+        for (int k = 0; k < 5; ++k) {
+          const core::RingPos key = rng.next();
+          const std::uint32_t from = owners[rng.below(owners.size())];
+          batch.submit_lookup(key, from);
+          walk.submit_lookup(key, from);
+        }
+      if (r == 8 || r == 14) {
+        const auto live = batch_engine.network().live_owners();
+        const std::uint32_t victim = live[rng.below(live.size())];
+        batch_engine.crash_peer(victim);
+        walk_engine.crash_peer(victim);
+      }
+      batch_engine.step();
+      walk_engine.step();
+      batch.on_round();
+      walk.on_round();
+      ASSERT_EQ(batch.inflight(), walk.inflight())
+          << "seed " << seed << " round " << r;
+      ASSERT_EQ(batch.fingerprint(), walk.fingerprint())
+          << "seed " << seed << " round " << r;
+    }
+    int guard = 0;
+    while ((batch.inflight() > 0 || walk.inflight() > 0) && guard++ < 500) {
+      batch_engine.step();
+      walk_engine.step();
+      batch.on_round();
+      walk.on_round();
+    }
+    ASSERT_EQ(batch.inflight(), 0U) << "seed " << seed;
+    ASSERT_EQ(walk.inflight(), 0U) << "seed " << seed;
+    ASSERT_EQ(batch.completions().size(), walk.completions().size());
+    for (std::size_t i = 0; i < batch.completions().size(); ++i) {
+      const RequestRecord& b = batch.completions()[i];
+      const RequestRecord& w = walk.completions()[i];
+      ASSERT_EQ(b.id, w.id) << "seed " << seed << " record " << i;
+      ASSERT_EQ(b.status, w.status) << "seed " << seed << " record " << i;
+      ASSERT_EQ(b.result_owner, w.result_owner) << "record " << i;
+      ASSERT_EQ(b.hops, w.hops) << "record " << i;
+      ASSERT_EQ(b.retries, w.retries) << "record " << i;
+      ASSERT_EQ(b.completion_round, w.completion_round) << "record " << i;
+    }
+    EXPECT_EQ(batch.totals().loss_bounces, walk.totals().loss_bounces);
+    EXPECT_EQ(batch.totals().custody_failovers,
+              walk.totals().custody_failovers);
+  }
+}
+
+// Regression (satellite): the shard MERGE order is a function of the data,
+// never of the worker count -- runs at 1, 3 and 8 engine threads produce
+// the same completion SEQUENCE record for record, not merely equal
+// aggregate fingerprints.
+TEST(RequestEngine, ShardMergeOrderIndependentOfWorkerCount) {
+  std::vector<std::vector<RequestRecord>> sequences;
+  for (const unsigned threads : {1U, 3U, 8U}) {
+    core::EngineOptions eopt;
+    eopt.threads = threads;
+    core::Engine engine = stable_engine(40, 37, eopt);
+    std::vector<std::uint8_t> dc(engine.network().owner_count());
+    for (std::uint32_t o = 0; o < dc.size(); ++o) dc[o] = o % 3;
+    engine.assign_datacenters(std::move(dc));
+    engine.set_latency_model(
+        core::LatencyModel::uniform(3, core::DelayClass{1, 2}, 9));
+    engine.set_message_loss(0.08);
+    RequestEngine req(engine);
+    util::Rng rng(55);
+    const auto owners = engine.network().live_owners();
+    for (int i = 0; i < 150; ++i)
+      req.submit_lookup(rng.next(), owners[rng.below(owners.size())]);
+    int guard = 0;
+    while (req.inflight() > 0 && guard++ < 1000) {
+      engine.step();
+      req.on_round();
+      if (guard == 4) {
+        const auto live = engine.network().live_owners();
+        engine.crash_peer(live[7]);
+        engine.crash_peer(live[23]);
+      }
+    }
+    EXPECT_EQ(req.inflight(), 0U) << threads << " threads";
+    sequences.emplace_back(req.completions().begin(),
+                           req.completions().end());
+  }
+  ASSERT_EQ(sequences[0].size(), 150U);
+  for (std::size_t v = 1; v < sequences.size(); ++v) {
+    ASSERT_EQ(sequences[v].size(), sequences[0].size());
+    for (std::size_t i = 0; i < sequences[0].size(); ++i) {
+      const RequestRecord& a = sequences[0][i];
+      const RequestRecord& b = sequences[v][i];
+      ASSERT_EQ(a.id, b.id) << "variant " << v << " record " << i;
+      ASSERT_EQ(a.status, b.status) << "record " << i;
+      ASSERT_EQ(a.result_owner, b.result_owner) << "record " << i;
+      ASSERT_EQ(a.completion_round, b.completion_round) << "record " << i;
+      ASSERT_EQ(a.hops, b.hops) << "record " << i;
+    }
+  }
+}
+
+// Bounded record growth (satellite): the completion ring keeps only the cap
+// newest records while every aggregate -- counts, sums, the fingerprint --
+// stays exactly what the uncapped run produces; the dropped prefix is
+// counted.
+TEST(RequestEngine, CompletionRingCapKeepsTotalsExact) {
+  auto run = [](std::size_t cap) {
+    core::Engine engine = stable_engine(40, 41);
+    RequestOptions opt;
+    opt.completion_cap = cap;
+    RequestEngine req(engine, opt);
+    util::Rng rng(77);
+    const auto owners = engine.network().live_owners();
+    for (int i = 0; i < 120; ++i)
+      req.submit_lookup(rng.next(), owners[rng.below(owners.size())]);
+    int guard = 0;
+    while (req.inflight() > 0 && guard++ < 500) {
+      engine.step();
+      req.on_round();
+    }
+    EXPECT_EQ(req.inflight(), 0U);
+    return std::pair{req.totals(),
+                     std::pair{req.completions().size(),
+                               req.completions_dropped()}};
+  };
+  const auto [uncapped, unstats] = run(0);
+  const auto [capped, stats] = run(16);
+  EXPECT_EQ(unstats.first, 120U);
+  EXPECT_EQ(unstats.second, 0U);
+  EXPECT_EQ(stats.first, 16U);
+  EXPECT_EQ(stats.second, 104U);
+  // The cap changes RETENTION only: totals and fingerprint are identical.
+  EXPECT_EQ(capped.resolved, uncapped.resolved);
+  EXPECT_EQ(capped.fingerprint, uncapped.fingerprint);
+  EXPECT_EQ(capped.rounds_sum, uncapped.rounds_sum);
+  EXPECT_EQ(capped.hops_sum, uncapped.hops_sum);
+}
+
+// Bounded ledger growth (satellite): with a mono_ledger_cap the
+// searchability ledger prunes its oldest entries down to 3/4 of the cap
+// instead of growing per distinct key, and the pruning changes no outcome
+// (same fingerprint as the unbounded run -- lookups of fresh random keys
+// can never witness a violation).
+TEST(RequestEngine, MonoLedgerCapBoundsMemory) {
+  auto run = [](std::size_t cap) {
+    core::Engine engine = stable_engine(40, 43);
+    RequestOptions opt;
+    opt.mono_ledger_cap = cap;
+    RequestEngine req(engine, opt);
+    util::Rng rng(13);
+    const auto owners = engine.network().live_owners();
+    for (int wave = 0; wave < 4; ++wave) {
+      for (int i = 0; i < 50; ++i)
+        req.submit_lookup(rng.next(), owners[rng.below(owners.size())]);
+      int guard = 0;
+      while (req.inflight() > 0 && guard++ < 500) {
+        engine.step();
+        req.on_round();
+      }
+      EXPECT_EQ(req.inflight(), 0U);
+    }
+    return std::pair{req.totals(), req.mono_ledger_size()};
+  };
+  const auto [unbounded, full_size] = run(0);
+  const auto [bounded, capped_size] = run(64);
+  EXPECT_EQ(full_size, 200U);  // one ledger entry per resolved lookup
+  EXPECT_LE(capped_size, 64U);
+  EXPECT_GE(capped_size, 48U);  // pruned to 3/4 of the cap, not to zero
+  EXPECT_EQ(bounded.mono_violations, 0U);
+  EXPECT_EQ(bounded.fingerprint, unbounded.fingerprint);
+  EXPECT_EQ(bounded.resolved, unbounded.resolved);
+}
+
 // The request CSV columns: every round row carries req_inflight/req_done/
 // req_failed/mono_violations/dc_lag_max, and the header names them.
 TEST(RequestEngine, ScenarioCsvCarriesRequestAndDcLagColumns) {

@@ -137,5 +137,33 @@ TEST(DistinctU64, DeterministicPerSeed) {
   EXPECT_EQ(distinct_u64(a, 64), distinct_u64(b, 64));
 }
 
+TEST(Poisson, SmallRateMeanCorrect) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(poisson_knuth(rng, 12.0));
+  EXPECT_NEAR(sum / trials, 12.0, 0.5);
+}
+
+// Regression: exp(-rate) underflows for rate >~ 745 and the product of
+// uniforms hits 0.0 after ~745 factors, which silently capped every draw
+// near 745/e (~740 arrivals/round at rate 2000 -- observed in the open-loop
+// throughput bench before the chunked fix).
+TEST(Poisson, LargeRateNotCappedByUnderflow) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(poisson_knuth(rng, 2000.0));
+  EXPECT_NEAR(sum / trials, 2000.0, 60.0);
+}
+
+TEST(Poisson, LargeRateDeterministicPerSeed) {
+  Rng a(9), b(9);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(poisson_knuth(a, 1234.5), poisson_knuth(b, 1234.5));
+}
+
 }  // namespace
 }  // namespace rechord::util
