@@ -12,10 +12,18 @@
 // traffic. Exit code is nonzero if any cell is unsteady or any fingerprint
 // diverges, so CI can run a small cell as a sanity gate.
 //
+// Besides sustained req/s, each cell reports the per-request latency SLO
+// numbers: p50/p99/max ROUNDS-IN-FLIGHT (completion_round - issue_round)
+// over the requests completed inside the steady-state window, harvested
+// incrementally from the bounded completion ring. The exit code is gated on
+// the steady-state p99 staying within --p99-rounds (open-loop queueing
+// explosions show up here long before the 0.95 drain-rate check trips).
+//
 //   ./bench_request_throughput [--sizes 20000,100000] [--rate R]
 //                              [--hot-frac 0.8] [--hot-keys 32]
 //                              [--rounds 60] [--warmup 30] [--threads 8]
-//                              [--seed S] [--no-verify] [--csv out.csv]
+//                              [--p99-rounds 48] [--seed S] [--no-verify]
+//                              [--csv out.csv]
 //
 // --rate 0 (default) scales arrivals with the overlay: max(200, n/50)
 // requests per round, which holds tens of thousands of requests in flight
@@ -24,6 +32,7 @@
 // 1M are supported (--sizes 1000000); the walk baseline dominates the wall
 // clock there.
 
+#include <algorithm>
 #include <cinttypes>
 
 #include "common.hpp"
@@ -43,6 +52,9 @@ struct CellResult {
   double rps = 0.0;
   bool steady = false;
   std::uint64_t fingerprint = 0;  // after full drain -- cross-cell invariant
+  // Rounds-in-flight distribution of the requests completed inside the
+  // measured window (the steady-state latency SLO numbers).
+  std::uint64_t lat_p50 = 0, lat_p99 = 0, lat_max = 0;
 };
 
 // One open-loop cell: warmup rounds fill the pipeline, the measured window
@@ -89,20 +101,38 @@ CellResult run_cell(const core::Network& base, std::size_t n,
       return hot[rng.below(hot.size())];
     return u;
   };
-  auto drive = [&](std::uint64_t r) {
+  // Per-request rounds-in-flight, harvested incrementally: the completion
+  // ring is capped, so each round's completions must be read before the
+  // next round can evict them (completions_dropped() keeps the cursor
+  // honest if a burst ever outruns the cap).
+  std::vector<std::uint32_t> rif;
+  std::uint64_t harvested = 0;
+  auto harvest = [&] {
+    const auto& comps = req.completions();
+    const std::uint64_t base = req.completions_dropped();
+    if (harvested < base) harvested = base;
+    for (; harvested < base + comps.size(); ++harvested)
+      rif.push_back(static_cast<std::uint32_t>(
+          comps[harvested - base].rounds_in_flight()));
+  };
+  auto drive = [&](std::uint64_t r, bool collect) {
     for (std::uint64_t i = 0; i < r; ++i) {
       for (std::size_t k = util::poisson_knuth(rng, traffic.rate); k > 0; --k)
         req.submit_lookup(draw_key(), owners[rng.below(owners.size())]);
       engine.step();
       req.on_round();
+      if (collect) harvest();
     }
   };
-  drive(warmup);
+  drive(warmup, false);
   CellResult res;
   const std::uint64_t issued0 = req.totals().issued;
   const std::uint64_t done0 = req.totals().completed();
+  // The window's latency sample starts empty: skip everything the warmup
+  // completed.
+  harvested = req.completions_dropped() + req.completions().size();
   bench::WallTimer timer;
-  drive(rounds);
+  drive(rounds, true);
   res.window_ms = timer.elapsed_ns() / 1e6;
   res.issued_window = req.totals().issued - issued0;
   res.completed_window = req.totals().completed() - done0;
@@ -116,6 +146,12 @@ CellResult run_cell(const core::Network& base, std::size_t n,
                 ? static_cast<double>(res.completed_window) /
                       (res.window_ms / 1e3)
                 : 0.0;
+  if (!rif.empty()) {
+    std::sort(rif.begin(), rif.end());
+    res.lat_p50 = rif[(rif.size() - 1) / 2];
+    res.lat_p99 = rif[((rif.size() - 1) * 99) / 100];
+    res.lat_max = rif.back();
+  }
   std::uint64_t guard = 0;
   while (req.inflight() > 0 && guard++ < 100000) {
     engine.step();
@@ -139,13 +175,17 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::uint64_t>(cli.get_int("rounds", 60));
   const auto warmup = static_cast<std::uint64_t>(cli.get_int("warmup", 30));
   const bool verify = !cli.get_flag("no-verify");
+  // Steady-state latency SLO: the window's p99 rounds-in-flight must stay
+  // under this bound in every measured cell, or the exit code is nonzero.
+  const auto p99_bound =
+      static_cast<std::uint64_t>(cli.get_int("p99-rounds", 48));
 
   bench::banner(
       "request_throughput -- sustained req/s under open-loop Poisson load",
       "sharded request engine at production traffic volume, DESIGN.md §10");
   util::Table table({"n", "mode", "scan", "threads", "rate/r", "issued",
-                     "done", "inflight", "steady", "req/s", "ms/round",
-                     "speedup"});
+                     "done", "inflight", "steady", "p50", "p99", "max",
+                     "req/s", "ms/round", "speedup"});
   bool all_ok = true;
   for (const std::size_t n : cfg.sizes) {
     Traffic traffic;
@@ -171,12 +211,19 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       const CellResult& r = cells[c];
       all_ok = all_ok && r.steady;
+      if (r.lat_p99 > p99_bound) {
+        std::printf("FAIL: n=%zu %s/%u window p99 rounds-in-flight %" PRIu64
+                    " exceeds bound %" PRIu64 "\n",
+                    n, modes[c].name, modes[c].threads, r.lat_p99, p99_bound);
+        all_ok = false;
+      }
       table.add_row(
           {std::to_string(n), modes[c].name, "active",
            std::to_string(modes[c].threads), util::fixed(traffic.rate, 0),
            std::to_string(r.issued_window), std::to_string(r.completed_window),
            std::to_string(r.end_inflight), r.steady ? "yes" : "NO",
-           util::fixed(r.rps, 0),
+           std::to_string(r.lat_p50), std::to_string(r.lat_p99),
+           std::to_string(r.lat_max), util::fixed(r.rps, 0),
            util::fixed(r.window_ms / static_cast<double>(rounds), 2),
            util::fixed(walk_rps > 0.0 ? r.rps / walk_rps : 0.0, 2) + "x"});
     }
@@ -218,7 +265,9 @@ int main(int argc, char** argv) {
     std::printf("(csv written to %s)\n", cfg.csv_path.c_str());
   }
   if (!all_ok) {
-    std::printf("FAIL: unsteady queue or fingerprint divergence (see above)\n");
+    std::printf(
+        "FAIL: unsteady queue, latency SLO breach or fingerprint divergence "
+        "(see above)\n");
     return 1;
   }
   return 0;

@@ -7,13 +7,25 @@
 // (k in {1, 10, 100}), where the scheduler's cost should track the
 // perturbation, not n.
 //
+// A third table measures the exact-fixpoint CONVERGENCE TAIL (DESIGN.md
+// §6.6): from a random connected bring-up state, total scheduler work
+// (live + replayed peer-rounds) until the exact fixpoint, with the
+// translation closure on vs the pre-closure eviction cascade
+// (--no-translate). The round COUNT is identical by construction (the two
+// closures are bit-identical per round); the work ratio is the win.
+//
 //   ./bench_round_cost [--sizes 1000,10000,50000] [--rounds 30]
 //                      [--full-rounds N] [--legacy-rounds N] [--threads T]
 //                      [--seed S] [--csv out.csv] [--churn-sizes 10000]
 //                      [--churn-ks 1,10,100] [--churn-rounds 12]
+//                      [--tail-sizes 2000] [--tail-baseline-max 20000]
 //                      [--assert-speedup X]   (exit 1 if active-set is not
 //                                              at least X times faster than
 //                                              the full scan at every size)
+//
+// --tail-sizes above --tail-baseline-max run the translation closure only
+// (the eviction-cascade baseline is O(n^2) total work there -- the point of
+// the closure -- so the A/B column shows a dash).
 //
 // --csv OUT writes the steady-state table to OUT and the k-churn recovery
 // table to OUT with a `.churn` suffix inserted (foo.csv -> foo.churn.csv),
@@ -22,6 +34,7 @@
 #include "common.hpp"
 #include "core/churn.hpp"
 #include "core/engine.hpp"
+#include "gen/topologies.hpp"
 
 using namespace rechord;
 
@@ -92,6 +105,40 @@ Measurement run_churn(core::Engine& engine, std::size_t k, std::size_t rounds,
 
 std::string fmt(double v, std::size_t digits = 5) {
   return std::to_string(v).substr(0, digits);
+}
+
+// Full bring-up from a random connected state to the EXACT fixpoint,
+// accumulating the scheduler work split. The translation closure and the
+// eviction cascade are bit-identical per round, so the two modes converge
+// at the same round; only the work differs.
+struct TailResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t live = 0, replayed = 0, skipped = 0;
+  double wall_ms = 0.0;
+  bool converged = false;
+};
+
+TailResult run_tail(std::size_t n, std::uint64_t seed,
+                    const core::EngineOptions& opt) {
+  util::Rng rng(seed);
+  core::Network net =
+      gen::make_network(gen::Topology::kRandomConnected, n, rng);
+  core::Engine engine(std::move(net), opt);
+  TailResult t;
+  const std::uint64_t cap = 20 * static_cast<std::uint64_t>(n) + 1000;
+  bench::WallTimer timer;
+  for (; t.rounds < cap; ++t.rounds) {
+    const auto mt = engine.step();
+    t.live += mt.active_peers;
+    t.replayed += mt.replayed_peers;
+    t.skipped += mt.skipped_peers;
+    if (!mt.changed) {
+      t.converged = true;
+      break;
+    }
+  }
+  t.wall_ms = timer.elapsed_ns() / 1e6;
+  return t;
 }
 
 // foo.csv -> foo.churn.csv (suffix appended when the final path component
@@ -221,10 +268,64 @@ int main(int argc, char** argv) {
       write_table_csv(churn_table, churn_csv_path(cli.csv_path()));
   }
 
+  // -- exact-fixpoint convergence tail: translation closure A/B -------------
+  // The long tail of bring-up is dominated by uniformly-translating
+  // connection-edge chains. Pre-§6.6 the closure's eviction cascade replayed
+  // every chain member every round (O(n^2) total work); the translation
+  // closure fast-forwards them. Rounds-to-fixpoint are identical in both
+  // modes by construction; "work" = live + replayed peer-rounds.
+  std::vector<std::size_t> tail_sizes;
+  for (auto v : cli.get_int_list("tail-sizes", {2000}))
+    if (v > 0) tail_sizes.push_back(static_cast<std::size_t>(v));
+  const auto tail_baseline_max = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("tail-baseline-max", 20000)));
+  bool tail_ok = true;
+  if (!tail_sizes.empty()) {
+    std::printf("\nconvergence tail to the exact fixpoint (random connected "
+                "start; work = live + replayed peer-rounds):\n");
+    util::Table tail_table({"n", "closure", "rounds", "live", "replayed",
+                            "work", "work ratio", "wall ms"});
+    for (std::size_t n : tail_sizes) {
+      core::EngineOptions tr_opt = base_opt;
+      tr_opt.translate_chains = true;
+      const TailResult tr = run_tail(n, seed, tr_opt);
+      if (!tr.converged) tail_ok = false;
+      const std::uint64_t tr_work = tr.live + tr.replayed;
+
+      TailResult ev;
+      std::uint64_t ev_work = 0;
+      const bool run_baseline = n <= tail_baseline_max;
+      if (run_baseline) {
+        core::EngineOptions ev_opt = base_opt;
+        ev_opt.translate_chains = false;
+        ev = run_tail(n, seed, ev_opt);
+        if (!ev.converged || ev.rounds != tr.rounds) tail_ok = false;
+        ev_work = ev.live + ev.replayed;
+        tail_table.add_row(
+            {std::to_string(n), "evict", std::to_string(ev.rounds),
+             std::to_string(ev.live), std::to_string(ev.replayed),
+             std::to_string(ev_work), "1.00", fmt(ev.wall_ms, 8)});
+      }
+      tail_table.add_row(
+          {std::to_string(n), "translate", std::to_string(tr.rounds),
+           std::to_string(tr.live), std::to_string(tr.replayed),
+           std::to_string(tr_work),
+           run_baseline && tr_work > 0
+               ? fmt(static_cast<double>(ev_work) /
+                     static_cast<double>(tr_work))
+               : "-",
+           fmt(tr.wall_ms, 8)});
+    }
+    tail_table.print(std::cout);
+    if (!tail_ok)
+      std::printf("WARNING: a tail run missed the exact fixpoint or the two "
+                  "closures disagreed on the convergence round\n");
+  }
+
   if (assert_speedup > 0.0) {
     std::printf("\nassert-speedup %.2f: %s\n", assert_speedup,
                 assert_ok ? "ok" : "FAILED");
     if (!assert_ok) return 1;
   }
-  return 0;
+  return tail_ok ? 0 : 1;
 }

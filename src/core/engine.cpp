@@ -26,6 +26,7 @@ EngineOptions engine_options_from_cli(const util::Cli& cli,
       1, cli.get_int("threads", static_cast<std::int64_t>(base.threads))));
   if (cli.get_flag("full-scan")) base.full_scan = true;
   if (cli.get_flag("legacy-fixpoint")) base.legacy_fixpoint = true;
+  if (cli.get_flag("no-translate")) base.translate_chains = false;
   return base;
 }
 
@@ -107,6 +108,7 @@ void Engine::ensure_scheduler_arrays() {
   if (cache_.size() < n) cache_.resize(n);
   if (wake_.size() < n) wake_.resize(n, 1);  // new owners run live
   if (skip_.size() < n) skip_.resize(n, 0);
+  if (boundary_.size() < n) boundary_.resize(n, 0);
   if (op_senders_.size() < n) op_senders_.resize(n);
 }
 
@@ -203,7 +205,23 @@ void Engine::compute_skip_set() {
   //       replays applies its recorded removals and needs the skipped
   //       peer's re-adds; a referenced owner whose aliveness pattern moved
   //       would resolve the op differently at commit. Either way the peer
-  //       must emit, i.e. replay.
+  //       must emit -- which under the TRANSLATION CLOSURE (the default,
+  //       DESIGN.md §6.6) no longer requires replaying: the peer is demoted
+  //       to emit-only ("boundary") -- still skipped, but its cached ops are
+  //       injected verbatim into the round's op stream by run_range. The
+  //       injection is exactly what a replay would emit (the cache IS the
+  //       pure phase output), and omitting the replay's delta application
+  //       is sound because the peer's own removal/re-add cancellation is
+  //       omitted as a PAIR: its upstream senders are either skipped
+  //       (suppressed with it) or emit duplicates, which are set-level
+  //       no-ops against the un-removed edge (network.cpp documents that
+  //       duplicate adds leave digests and dirty marks untouched). Hence
+  //       eviction no longer cascades upstream through op_senders_ -- a
+  //       uniformly-translating chain costs its O(frontier) live peers plus
+  //       the boundary injections at the woken fringe instead of replaying
+  //       end to end every round. Under --no-translate the pre-closure
+  //       behavior is kept: referenced owners are evicted transitively via
+  //       the worklist below (the A/B baseline the lockstep tests pin).
   //   (2) upstream: no peer running live this round has cached ops into a
   //       skipped peer. A live run may stop re-sending the op that cancels
   //       the skipped peer's recorded removal, so the skipped peer must
@@ -217,6 +235,7 @@ void Engine::compute_skip_set() {
   // so dead owners are not eviction seeds.
   const std::uint32_t n = net_.owner_count();
   std::fill(skip_.begin(), skip_.end(), 0);
+  lazy_evict_round_ = false;
   std::uint32_t live = 0, woken = 0;
   for (std::uint32_t o = 0; o < n; ++o) {
     if (!net_.owner_alive(o)) continue;
@@ -251,22 +270,38 @@ void Engine::compute_skip_set() {
   if (!skip_possible()) return;
   for (std::uint32_t o = 0; o < n; ++o)
     skip_[o] = net_.owner_alive(o) && cache_[o].valid && !wake_[o] ? 1 : 0;
+  const bool translate = opt_.translate_chains;
+  // Lazy rule (2): in a calm translate round the referents of live runners
+  // are evicted AFTER the live runs, and only when the fresh output really
+  // dropped the op that referenced them (apply_deferred_evictions). Storm
+  // rounds keep the eager eviction -- they record no caches, so there is no
+  // fresh output to diff against.
+  lazy_evict_round_ = translate && !bulk_round_;
   evict_stack_.clear();
-  const auto evict = [this](std::uint32_t d) {
+  // Under the translation closure evictions are DIRECT only -- each of the
+  // rules below clears the skip flag of the owners it names, and senders
+  // into those owners are demoted to boundary afterwards instead of being
+  // evicted transitively. The worklist (and its upstream cascade) exists
+  // only for the --no-translate baseline.
+  const auto evict = [this, translate](std::uint32_t d) {
     if (skip_[d]) {
       skip_[d] = 0;
-      evict_stack_.push_back(d);
+      if (!translate) evict_stack_.push_back(d);
     }
   };
   for (std::uint32_t o = 0; o < n; ++o) {
     if (!net_.owner_alive(o)) continue;
-    if (wake_[o] || !cache_[o].valid) {
+    if (!lazy_evict_round_ && (wake_[o] || !cache_[o].valid)) {
       // Rule (2): `o` runs live this round. (An owner merely *evicted* from
       // the skip set replays its cached ops verbatim and triggers nothing.)
+      // In lazy rounds this is deferred: the eviction is only needed if the
+      // fresh run stops re-sending the op, which run_range detects by
+      // diffing the fresh output against the cache.
       for (std::uint32_t d : cache_[o].op_owners) evict(d);
     }
-    // Closure seed for rule (1): senders into a non-skipped owner.
-    if (!skip_[o] && !op_senders_[o].empty()) evict_stack_.push_back(o);
+    // Legacy closure seed for rule (1): senders into a non-skipped owner.
+    if (!translate && !skip_[o] && !op_senders_[o].empty())
+      evict_stack_.push_back(o);
   }
   for (std::uint32_t o : oob_owners_)
     if (!net_.owner_alive(o))  // departed peers: one-time rule (2) eviction
@@ -313,10 +348,26 @@ void Engine::compute_skip_set() {
       }
       if (pc.has_nonzero_delay) evict(o);
     }
-  while (!evict_stack_.empty()) {
-    const std::uint32_t d = evict_stack_.back();
-    evict_stack_.pop_back();
-    for (std::uint32_t u : op_senders_[d]) evict(u);
+  if (!translate) {
+    while (!evict_stack_.empty()) {
+      const std::uint32_t d = evict_stack_.back();
+      evict_stack_.pop_back();
+      for (std::uint32_t u : op_senders_[d]) evict(u);
+    }
+    return;
+  }
+  // Translation closure, boundary marking (rule (1) without the cascade):
+  // every still-skipped sender whose cached ops reference an owner running
+  // this round is demoted to emit-only. Dead owners are deliberately not
+  // boundary sources -- ops referencing them resolve to dropped in both
+  // modes, so their senders stay fully suppressed (same as the legacy
+  // non-seed treatment of dead owners). Cost: O(owners) plus the op-sender
+  // lists of the non-skipped region -- the woken fringe, not the chains.
+  std::fill(boundary_.begin(), boundary_.end(), 0);
+  for (std::uint32_t o = 0; o < n; ++o) {
+    if (skip_[o] || !net_.owner_alive(o)) continue;
+    for (std::uint32_t u : op_senders_[o])
+      if (skip_[u]) boundary_[u] = 1;
   }
 }
 
@@ -427,6 +478,17 @@ void Engine::run_range(std::size_t begin, std::size_t end,
         // metrics stay mode-independent.
         ++shard_skipped_[shard];
         act += pc->activity;
+        if (boundary_[owner]) {
+          // Emit-only (translation closure, DESIGN.md §6.6): a downstream
+          // owner runs this round, so the peer's cached ops must reach the
+          // commit -- inject them verbatim, exactly the emission a replay
+          // would produce. Deliveries into still-skipped targets are
+          // duplicate set insertions: no-ops that leave digests and dirty
+          // marks untouched, so no spurious wakes follow.
+          ++shard_boundary_[shard];
+          out.insert(out.end(), pc->ops.begin(), pc->ops.end());
+          note_src();
+        }
         continue;
       }
       if (pc->valid && !wake_[owner]) {
@@ -495,6 +557,33 @@ void Engine::run_range(std::size_t begin, std::size_t end,
           pc->delta == paranoid_prev_[shard].delta;
       pc->notes_fresh = !output_same;
       if (!output_same) {
+        if (lazy_evict_round_ && !pc->op_owners.empty()) {
+          // Deferred rule (2): the fresh output changed, so some cached op
+          // may no longer be re-sent -- collect the owners referenced by
+          // the DROPPED ops only (set difference old \ fresh); a reference
+          // the fresh run still emits keeps cancelling its partner, so that
+          // partner may rest. An invalidated cache (storm leftovers) has no
+          // comparable fresh/old pair: every old reference is collected.
+          auto& pend = shard_pending_evict_[shard];
+          if (!pc->valid) {
+            pend.insert(pend.end(), pc->op_owners.begin(),
+                        pc->op_owners.end());
+          } else {
+            auto& old_ops = shard_diff_old_[shard];
+            auto& new_ops = shard_diff_new_[shard];
+            old_ops.assign(pc->ops.begin(), pc->ops.end());
+            new_ops.assign(fresh_begin, out.end());
+            std::sort(old_ops.begin(), old_ops.end());
+            std::sort(new_ops.begin(), new_ops.end());
+            std::size_t j = 0;
+            for (const DelayedOp& op : old_ops) {
+              while (j < new_ops.size() && new_ops[j] < op) ++j;
+              if (j < new_ops.size() && !(op < new_ops[j])) continue;
+              pend.push_back(owner_of(op.target));
+              pend.push_back(owner_of(op.payload));
+            }
+          }
+        }
         pc->delay_memo_epoch = 0;  // ops changed: delay-class memo is stale
         pc->ops.assign(fresh_begin, out.end());
         pc->op_owners.clear();
@@ -551,6 +640,7 @@ void Engine::run_peers() {
   shard_active_.assign(shards, 0);
   shard_replayed_.assign(shards, 0);
   shard_skipped_.assign(shards, 0);
+  shard_boundary_.assign(shards, 0);
   shard_mismatch_.assign(shards, 0);
   for (auto& v : shard_live_) v.clear();
   if (shard_live_.size() < shards) shard_live_.resize(shards);
@@ -561,9 +651,21 @@ void Engine::run_peers() {
     // first `shards`, in case a previous round used more shards.
     for (auto& v : shard_op_src_) v.clear();
     if (shard_op_src_.size() < shards) shard_op_src_.resize(shards);
+    tail_op_src_.clear();
+  }
+  if (lazy_evict_round_) {
+    // Clear every pending list (apply_deferred_evictions walks them all)
+    // in case a previous round used more shards.
+    for (auto& v : shard_pending_evict_) v.clear();
+    if (shard_pending_evict_.size() < shards) {
+      shard_pending_evict_.resize(shards);
+      shard_diff_old_.resize(shards);
+      shard_diff_new_.resize(shards);
+    }
   }
   if (serial) {
     run_range(0, owners_.size(), ops_, 0);
+    apply_deferred_evictions();
     return;
   }
   // NOTE(parallel-safety): a peer mutates only its own slots' sets (live or
@@ -586,6 +688,53 @@ void Engine::run_peers() {
   });
   for (unsigned t = 0; t < shards; ++t)
     ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
+  apply_deferred_evictions();
+}
+
+void Engine::apply_deferred_evictions() {
+  deferred_replays_ = 0;
+  deferred_boundary_ = 0;
+  if (!lazy_evict_round_) return;
+  // Gathering in shard order visits the pending entries in the runners'
+  // ascending-owner order -- the serial order -- so the deferred pass is
+  // thread-count invariant.
+  phase_b_.clear();
+  for (const auto& pend : shard_pending_evict_)
+    for (const std::uint32_t d : pend)
+      if (skip_[d]) {
+        skip_[d] = 0;
+        phase_b_.push_back(d);
+      }
+  if (phase_b_.empty()) return;
+  // A deferred replay commits identically to an in-pass one: the rule phase
+  // reads round-start state only, so a round's own-slot edits and emissions
+  // commute. Runs single-threaded -- the set is the handful of references
+  // the frontier actually dropped this round, not a sharded workload.
+  RuleActivity discard;  // already counted from the cache in the skip branch
+  for (const std::uint32_t d : phase_b_) {
+    std::size_t base = ops_.size();
+    replay_peer(d, cache_[d], ops_, discard);
+    ++deferred_replays_;
+    shard_ran_[0].push_back(d);
+    if (latency_round_ && ops_.size() > base)
+      tail_op_src_.emplace_back(
+          d, static_cast<std::uint32_t>(ops_.size() - base));
+    // The replay applies d's recorded removals, so d's cancellation
+    // partners must emit their re-adds: inject every still-skipped sender
+    // emit-only. No cascade -- an injected sender's own pair stays
+    // suppressed as a pair, exactly the translation-closure argument.
+    for (const std::uint32_t u : op_senders_[d]) {
+      if (!skip_[u] || boundary_[u]) continue;
+      boundary_[u] = 1;
+      ++deferred_boundary_;
+      const PeerCache& uc = cache_[u];
+      base = ops_.size();
+      ops_.insert(ops_.end(), uc.ops.begin(), uc.ops.end());
+      if (latency_round_ && ops_.size() > base)
+        tail_op_src_.emplace_back(
+            u, static_cast<std::uint32_t>(ops_.size() - base));
+    }
+  }
 }
 
 WorkerPool& Engine::shared_worker_pool(unsigned ways) {
@@ -614,24 +763,27 @@ void Engine::route_inflight() {
     }
   }
   std::size_t idx = 0;
-  for (const auto& spans : shard_op_src_)
-    for (const auto& [owner, count] : spans) {
-      const std::uint8_t src = datacenter_of(owner);
-      for (std::uint32_t k = 0; k < count; ++k, ++idx) {
-        const DelayedOp& op = ops_[idx];
-        const std::uint32_t d = latency_.delay(
-            src, datacenter_of(owner_of(op.target)), round_, owner, op);
-        if (d == 0) {
-          route_buf_.push_back(op);
-          continue;
-        }
-        while (inflight_.size() < d) inflight_.emplace_back();
-        inflight_[d - 1].push_back(op);
-        ++inflight_count_;
-        inflight_ref_add(owner_of(op.target));
-        inflight_ref_add(owner_of(op.payload));
+  const auto route_span = [&](std::uint32_t owner, std::uint32_t count) {
+    const std::uint8_t src = datacenter_of(owner);
+    for (std::uint32_t k = 0; k < count; ++k, ++idx) {
+      const DelayedOp& op = ops_[idx];
+      const std::uint32_t d = latency_.delay(
+          src, datacenter_of(owner_of(op.target)), round_, owner, op);
+      if (d == 0) {
+        route_buf_.push_back(op);
+        continue;
       }
+      while (inflight_.size() < d) inflight_.emplace_back();
+      inflight_[d - 1].push_back(op);
+      ++inflight_count_;
+      inflight_ref_add(owner_of(op.target));
+      inflight_ref_add(owner_of(op.payload));
     }
+  };
+  for (const auto& spans : shard_op_src_)
+    for (const auto& [owner, count] : spans) route_span(owner, count);
+  // The deferred pass emits at the tail of ops_, after every shard span.
+  for (const auto& [owner, count] : tail_op_src_) route_span(owner, count);
   assert(idx == ops_.size());
   ops_.swap(route_buf_);
 }
@@ -678,10 +830,18 @@ RoundMetrics Engine::step() {
   if (latency_round_) route_inflight();
   activity_ = RuleActivity{};
   for (const auto& act : shard_activity_) activity_ += act;
-  std::size_t active_peers = 0, replayed_peers = 0, skipped_peers = 0;
+  std::size_t active_peers = 0, replayed_peers = 0, skipped_peers = 0,
+              boundary_peers = 0;
   for (std::size_t v : shard_active_) active_peers += v;
   for (std::size_t v : shard_replayed_) replayed_peers += v;
   for (std::size_t v : shard_skipped_) skipped_peers += v;
+  for (std::size_t v : shard_boundary_) boundary_peers += v;
+  // Deferred rule-(2) replays ran after the skip branch already counted
+  // them as skipped; recount them as the replays they were, and count the
+  // emit-only injections the deferred pass added.
+  skipped_peers -= deferred_replays_;
+  replayed_peers += deferred_replays_;
+  boundary_peers += deferred_boundary_;
   for (std::uint64_t v : shard_mismatch_) replay_mismatches_ += v;
   if (active && !mass_reg_pending_) {
     // Reader and op-sender entries for this round's live runs, derived
@@ -827,6 +987,7 @@ RoundMetrics Engine::step() {
   mt.active_peers = active_peers;
   mt.replayed_peers = replayed_peers;
   mt.skipped_peers = skipped_peers;
+  mt.boundary_peers = boundary_peers;
   if (opt_.legacy_fixpoint) {
     auto state = net_.serialize_state();
     mt.changed = state != prev_state_;

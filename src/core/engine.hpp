@@ -27,7 +27,27 @@
 // participates in rests too: the skip set is closed so that every owner a
 // skipped peer's cached ops reference is skipped as well, and no peer
 // running live this round has cached ops into a skipped peer (engine.cpp
-// documents the two closure rules; DESIGN.md §6 has the proof sketch). At
+// documents the two closure rules; DESIGN.md §6 has the proof sketch).
+//
+// The TRANSLATION CLOSURE (DESIGN.md §6.6) generalizes the skip to
+// *uniformly-translating* chains -- connection-edge flow that still slides
+// one hop per round toward its resting position. A quiescent peer inside
+// such a flow is net-zero for ITSELF (the value passing through it is
+// stationary), but its cached ops feed the sliding frontier downstream, so
+// the net-zero closure above used to evict the whole chain into replay
+// every round, O(n) peers for the O(n) rounds of the convergence tail.
+// Instead of evicting, the scheduler demotes such a peer to EMIT-ONLY
+// ("boundary"): it stays skipped -- no rules, no replay, no delta, no
+// publish -- and only its cached ops are injected verbatim into the round's
+// op stream. Injection is exactly a replay minus the delta application and
+// the rl/rr republish, and both omissions are sound: the peer's own
+// removal/re-add pair is suppressed as a pair (its upstream is skipped
+// too), and a duplicate delivery into a skipped target is a set-level
+// no-op that leaves digests untouched (network.cpp documents that
+// guarantee). The eviction worklist disappears: evictions no longer
+// propagate upstream, each round's real work tracks the O(frontier) peers
+// whose state genuinely moves, and the exact-fixpoint tail costs
+// O(total chain length) live peer-rounds instead of O(n * rounds). At
 // the fixpoint every peer is skipped and a round costs a few O(owners)
 // scans; under churn the eviction tracks the perturbed op-flow region. The
 // result is bit-identical to the full scan (flag-gated via
@@ -74,6 +94,11 @@ struct RoundMetrics {
   /// ops addressed to them cancel to a net-zero round contribution), so
   /// neither rules nor replay ran and no ops were emitted.
   std::size_t skipped_peers = 0;
+  /// Subset of skipped_peers demoted to emit-only by the translation
+  /// closure (DESIGN.md §6.6): still skipped -- no rules, no replay, no
+  /// delta, no publish -- but their cached ops were injected into the
+  /// round's op stream because a downstream owner runs live this round.
+  std::size_t boundary_peers = 0;
   /// Delayed assignments still in the latency model's in-flight queue at the
   /// end of the round (0 without a nontrivial model, DESIGN.md §8).
   std::size_t inflight_messages = 0;
@@ -125,6 +150,15 @@ struct EngineOptions {
   /// flag-gated for the equivalence tests and the bench comparison.
   bool full_scan = false;
 
+  /// Translation closure (DESIGN.md §6.6, default on): a quiescent skip
+  /// candidate whose cached ops feed a non-skipped owner is demoted to
+  /// emit-only instead of being evicted into replay, and evictions stop
+  /// cascading upstream through the op-sender index. Same observable
+  /// results; kept flag-gated (--no-translate) so bench/round_cost can
+  /// measure the pre-closure tail cost and the lockstep tests can pin
+  /// the equivalence.
+  bool translate_chains = true;
+
   /// Test instrumentation: peers the scheduler would replay run live anyway
   /// and their fresh phase output is compared against the cache; mismatches
   /// are counted in Engine::replay_check_failures(). Proves the wake set
@@ -148,7 +182,8 @@ struct EngineOptions {
 };
 
 /// Parses the engine-related command-line flags shared by the bench and
-/// example binaries: --threads N, --full-scan, --legacy-fixpoint.
+/// example binaries: --threads N, --full-scan, --legacy-fixpoint,
+/// --no-translate.
 [[nodiscard]] EngineOptions engine_options_from_cli(const util::Cli& cli,
                                                     EngineOptions base = {});
 
@@ -208,7 +243,17 @@ class Engine {
   /// Fault windows: adjust the fault-injection knobs mid-run (scenario
   /// loss/asynchrony windows). Takes effect from the next step(); while a
   /// fault probability is nonzero the resting-chain skip is disabled, exactly
-  /// as if the engine had been constructed with the value.
+  /// as if the engine had been constructed with the value. Setting a knob
+  /// back to zero RE-ARMS the skip immediately: skip_possible() reads the
+  /// live values, and re-arming right at the window edge is sound because
+  /// every drop or missed activation during the window left a digest trail
+  /// that keeps the affected peers woken -- a peer that is quiescent in the
+  /// first fault-free round is quiescent for exactly the same reason as one
+  /// that never saw the window (tests/test_scheduler.cpp pins a post-window
+  /// fixpoint round to the never-faulted cost). Messages still queued from
+  /// the window need no grace period either: the rule-(3) eviction keeps
+  /// every owner an in-flight message references out of the skip set until
+  /// the queue drains.
   void set_message_loss(double p) noexcept { opt_.message_loss = p; }
   void set_sleep_probability(double p) noexcept { opt_.sleep_probability = p; }
 
@@ -298,6 +343,11 @@ class Engine {
   /// (test instrumentation).
   [[nodiscard]] bool owner_was_skipped(std::uint32_t owner) const noexcept {
     return owner < skip_.size() && skip_[owner] != 0;
+  }
+  /// True when `owner` was skipped in emit-only (boundary) mode by the most
+  /// recent step() -- implies owner_was_skipped (test instrumentation).
+  [[nodiscard]] bool owner_was_boundary(std::uint32_t owner) const noexcept {
+    return owner < boundary_.size() && boundary_[owner] != 0;
   }
 
   /// Worker-pool hook for subsystems that run their own sharded phases
@@ -439,6 +489,10 @@ class Engine {
   std::vector<PeerCache> cache_;          // per owner
   std::vector<std::uint8_t> wake_;        // per owner: must run live
   std::vector<std::uint8_t> skip_;        // per owner: resting, skip outright
+  // Per owner: skipped in emit-only mode (translation closure) -- the
+  // cached ops are injected into the round's op stream, nothing else runs.
+  // Only ever set for owners with skip_[o] == 1.
+  std::vector<std::uint8_t> boundary_;
   // op_senders_[o] = sorted owner ids whose cached ops reference o (the
   // reverse of PeerCache::op_owners). Append-only over-approximation like
   // the network's reader index; rebuilt from scratch at an epoch reset.
@@ -447,7 +501,29 @@ class Engine {
   std::vector<std::uint64_t> op_sender_pairs_;  // ditto
   std::vector<std::size_t> sender_counts_, sender_cursor_;  // ditto
   std::vector<std::uint32_t> sender_scatter_;               // ditto
-  std::vector<std::uint32_t> evict_stack_;  // skip-closure worklist
+  std::vector<std::uint32_t> evict_stack_;  // legacy skip-closure worklist
+  /// Translation-closure lazy rule (2) (DESIGN.md §6.6): in a calm
+  /// translate round, owners referenced by a live runner's cached ops are
+  /// NOT evicted up front -- whether the fresh run keeps re-sending each op
+  /// is only knowable after it ran. run_range diffs the fresh output
+  /// against the cache and collects the owners referenced by *dropped* ops
+  /// per shard; apply_deferred_evictions() then replays the still-skipped
+  /// ones in the same round (sound: a round's own-slot edits and emissions
+  /// commute -- peers read only round-start state -- so a post-pass replay
+  /// commits identically to an in-pass one) and injects their skipped
+  /// senders emit-only. A translating chain thus costs its live frontier
+  /// plus the O(1) references the frontier actually moved, not the whole
+  /// reference neighborhood of every woken peer.
+  bool lazy_evict_round_ = false;
+  std::vector<std::vector<std::uint32_t>> shard_pending_evict_;  // per shard
+  // Per-shard scratch for the dropped-op diff (runs inside run_range).
+  std::vector<std::vector<DelayedOp>> shard_diff_old_, shard_diff_new_;
+  std::vector<std::uint32_t> phase_b_;          // deferred replays, in order
+  /// Emission spans of the deferred pass, appended after the shard spans in
+  /// route_inflight's walk (deferred ops sit at the tail of ops_).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tail_op_src_;
+  std::size_t deferred_replays_ = 0;   // this round, for the metric recount
+  std::size_t deferred_boundary_ = 0;  // ditto
   /// Storm mode, re-decided every round: when a majority of live peers is
   /// digest-woken (mass churn / early convergence), recording caches and
   /// registering index entries costs more than it can ever save, so live
@@ -465,7 +541,8 @@ class Engine {
   std::vector<PeerCache> paranoid_prev_;  // per shard scratch
   std::vector<std::vector<std::uint32_t>> shard_live_;  // owners run live
   std::vector<std::vector<std::uint32_t>> shard_ran_;   // live or replayed
-  std::vector<std::size_t> shard_active_, shard_replayed_, shard_skipped_;
+  std::vector<std::size_t> shard_active_, shard_replayed_, shard_skipped_,
+      shard_boundary_;
   std::vector<std::uint64_t> shard_mismatch_;
   std::vector<std::uint32_t> changed_owners_, published_owners_;
   std::vector<std::uint32_t> oob_owners_;  // out-of-band-dirty owners
@@ -500,6 +577,7 @@ class Engine {
   void wake_out_of_band();
   void apply_wakes();
   void compute_skip_set();
+  void apply_deferred_evictions();
   void route_inflight();
   void note_op_sender(std::uint32_t referenced, std::uint32_t sender);
   void rebuild_flow_indices();

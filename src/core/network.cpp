@@ -86,6 +86,10 @@ bool Network::add_edge(Slot s, EdgeKind k, Slot target) {
   const auto it = std::lower_bound(
       set.begin(), set.end(), key,
       [this](Slot a, OrderKey kk) { return order_key(a) < kk; });
+  // Duplicate: return BEFORE mark_dirty -- a re-delivered edge must leave
+  // digests, dirty marks and hence wakes untouched (the header documents
+  // this as the contract the translation closure's emit-only injections
+  // depend on).
   if (it != set.end() && *it == target) return false;
   set.insert(it, target);
   if (alive_[s]) edge_live_[static_cast<std::size_t>(k)].add(1);
@@ -135,6 +139,7 @@ std::size_t Network::add_edges_bulk(Slot s, EdgeKind k,
     if (!alive_[t]) dead_target = true;
     ++added;
   }
+  // All duplicates: same no-dirty contract as add_edge's duplicate return.
   if (added == 0) return 0;
   set.assign(merge_buf_.begin(), merge_buf_.end());
   if (alive_[s])

@@ -134,10 +134,19 @@ class Network {
     return sets_[static_cast<std::size_t>(k)][s];
   }
   /// Inserts (s -> target); returns false for self-edges and duplicates.
+  /// CONTRACT (the scheduler's translation closure leans on this, DESIGN.md
+  /// §6.6): a duplicate insertion is a complete no-op -- no dirty mark, no
+  /// digest movement, no reader wake. The engine injects the cached ops of
+  /// emit-only ("boundary") peers into the commit, where deliveries into
+  /// still-resting targets re-add edges that are already present; because
+  /// those arrivals leave the change tracking untouched, the injection
+  /// cannot wake anyone spuriously and a fixpoint round stays a fixpoint.
   bool add_edge(Slot s, EdgeKind k, Slot target);
   /// Inserts (s -> t) for every t in `targets` in one merge pass; `targets`
   /// must be sorted by order_key and free of duplicates. Equivalent to
   /// calling add_edge per target; returns the number actually inserted.
+  /// Same contract as add_edge: when nothing is actually inserted (all
+  /// duplicates), no dirty mark is left behind.
   std::size_t add_edges_bulk(Slot s, EdgeKind k, std::span<const Slot> targets);
   /// Removes (s -> target); returns false if absent.
   bool remove_edge(Slot s, EdgeKind k, Slot target);

@@ -28,6 +28,15 @@
 // state is a DelayedOp; every write to u's own slots goes through the
 // RuleCtx wrappers below so the engine can record the effective mutations
 // (LocalEdit) and replay the phase verbatim while (a)-(d) are unchanged.
+//
+// A corollary the translation closure (DESIGN.md §6.6) relies on: because
+// the recorded DelayedOps carry absolute slot addresses and are a pure
+// function of (a)-(d), the scheduler may re-EMIT a quiescent peer's cached
+// ops without re-running the rules or applying its LocalEdits -- the
+// emission alone is exactly the op output a live run would produce. No
+// translation tag or positional re-encoding is needed in the recorded-edit
+// shape: a "sliding" chain is sliding only in the aggregate; each peer's
+// own recorded output is literally unchanged while its read set is.
 
 #include <array>
 #include <cstdint>

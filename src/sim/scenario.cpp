@@ -738,19 +738,27 @@ Scenario build_flash_crowd_3dc(const ScenarioParams& p) {
   return sc;
 }
 
-// At 100k-peer scale the EXACT fixpoint is out of reach for a smoke run:
-// after the desired edges exist, the globally connected connection-edge flow
-// takes O(n) further rounds to slide into its resting position (the marked
-// edges forward one hop per round). The sweep therefore measures
-// almost-stability -- every desired edge present -- on both sides of the
-// storm, the convergence measure that stays meaningful at scale (§7.1).
+// The exact-fixpoint tail after the desired edges exist is the marked flow
+// sliding into resting position one hop per round -- O(n) ROUNDS, and while
+// excess ring edges travel to the ring extremes and the connection chains
+// saturate, nearly every peer holds a moving edge, so those rounds are
+// all-live storms whose work is real state change no scheduler can skip
+// (DESIGN.md §6.6 "what remains"). That caps the EXACT checkpoint at a
+// smoke-feasible size: the §6.6 translation closure keeps the calm part of
+// the tail cheap (no eviction-cascade replay), and at n <= 2000 the whole
+// drain fits in tens of seconds, so the checkpoint is exit-code gated with
+// a hard round budget there (CI runs --n 2000 for exactly this gate). The
+// larger variants (CI --n 20000, full sweep 100k) stop at almost-stability
+// -- every desired edge present, the convergence measure that stays
+// meaningful at scale (§7.1).
 Scenario build_sustained_churn(const ScenarioParams& p) {
   Scenario sc;
   sc.name = "sustained-churn";
   sc.description =
       "sustained Poisson churn at 100k-peer scale: a mixed-churn storm with "
       "the per-round CSV series, almost-stable convergence on both sides "
-      "(CI runs the truncated --n 20000 variant)";
+      "(at --n <= 2000 the timeline additionally drains to the exact "
+      "fixpoint under a hard round budget -- the CI tail gate)";
   sc.n = resolve(p.n, 100000);
   sc.timeline.push_back(
       AwaitAlmost{.label = "bootstrap-almost", .max_rounds = 4000});
@@ -759,12 +767,13 @@ Scenario build_sustained_churn(const ScenarioParams& p) {
                    .rounds = resolve(p.ops, 40)});
   sc.timeline.push_back(
       AwaitAlmost{.label = "drained-almost", .max_rounds = 4000});
-  // At smoke sizes the tail is affordable: also drain to the exact fixpoint,
-  // which proves full convergence and exercises the active-set scheduler's
-  // replay/skip path (the registry tests run every scenario at n ~ 70).
-  if (sc.n <= 1000)
-    sc.timeline.push_back(
-        Checkpoint{.label = "drained-exact", .max_rounds = 1000000});
+  // Exact-fixpoint drain, exit-code gated (Checkpoint fails the scenario if
+  // the budget is hit or the fixpoint differs from the StableSpec). The
+  // budget is a hard regression gate on the O(n)-rounds tail: ~n sliding
+  // hops plus the almost-stable margin, loose enough for schedule noise.
+  if (sc.n <= 2000)
+    sc.timeline.push_back(Checkpoint{
+        .label = "drained-exact", .max_rounds = 3 * sc.n + 4000});
   return sc;
 }
 
@@ -883,8 +892,9 @@ Scenario build_flash_crowd_live(const ScenarioParams& p) {
 // cap-independent).
 
 // The CI sustained-throughput smoke: stabilize a 20k-peer overlay (almost-
-// stability -- the exact fixpoint has an O(n) connection-edge tail at this
-// scale, see build_sustained_churn), then pour open-loop lookups and gets
+// stability -- the traffic starts the moment every desired edge exists;
+// the exact tail at this scale is an all-live sliding storm, see
+// build_sustained_churn), then pour open-loop lookups and gets
 // through it and require the queue to drain with ZERO monotonic-
 // searchability violations via the runner exit code. No churn runs during
 // the load, so every key routes identically each time it is probed.

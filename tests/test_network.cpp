@@ -59,6 +59,33 @@ TEST(Edges, AddRemoveHas) {
   EXPECT_TRUE(net.has_edge(a, EdgeKind::kRing, b));
 }
 
+TEST(Edges, DuplicateDeliveriesLeaveNoDirtyMarks) {
+  // The contract the scheduler's translation closure (DESIGN.md §6.6)
+  // depends on: re-delivering an edge that is already present must be a
+  // complete no-op -- no dirty mark, no digest movement, no change report --
+  // so emit-only injections into resting peers cannot wake anyone and a
+  // fixpoint round stays a fixpoint.
+  auto net = make_net({0.1, 0.2, 0.3});
+  const Slot a = slot_of(0, 0), b = slot_of(1, 0), c = slot_of(2, 0);
+  ASSERT_TRUE(net.add_edge(a, EdgeKind::kConnection, b));
+  ASSERT_TRUE(net.add_edge(a, EdgeKind::kConnection, c));
+  net.rebuild_change_baseline();
+  ASSERT_FALSE(net.consume_round_changes());
+  EXPECT_FALSE(net.add_edge(a, EdgeKind::kConnection, b));
+  EXPECT_FALSE(net.owner_dirty(0));
+  EXPECT_FALSE(net.slot_dirty(a));
+  // Bulk form, all duplicates (pre-sorted by order, as the commit pass
+  // guarantees): same contract.
+  std::vector<Slot> dup = net.edges(a, EdgeKind::kConnection);
+  EXPECT_EQ(net.add_edges_bulk(a, EdgeKind::kConnection, dup), 0U);
+  EXPECT_FALSE(net.owner_dirty(0));
+  EXPECT_FALSE(net.consume_round_changes());
+  // A genuinely new edge still marks and reports.
+  EXPECT_TRUE(net.add_edge(b, EdgeKind::kConnection, c));
+  EXPECT_TRUE(net.owner_dirty(1));
+  EXPECT_TRUE(net.consume_round_changes());
+}
+
 TEST(Edges, SelfEdgesRejected) {
   auto net = make_net({0.1});
   EXPECT_FALSE(net.add_edge(0, EdgeKind::kUnmarked, 0));

@@ -316,6 +316,148 @@ TEST(Scheduler, GracefulLeaveSchedulesBitIdenticalSerialAndSharded) {
   }
 }
 
+// -- translation closure (DESIGN.md §6.6) ------------------------------------
+
+// Lockstep equivalence of the translating-chain closure through a FULL
+// convergence tail -- the regime dominated by uniformly-translating
+// connection-edge chains -- with randomized churn plus a mid-tail fault
+// window, over {1, 8} threads. Three engines run the same schedule: the
+// default (translation closure), the flag-gated --no-translate eviction
+// cascade, and the full scan; every round all three must agree on the
+// fingerprint and the fixpoint verdict.
+//
+// This is also the mid-slide misclassification regression: a chain member
+// wrongly classified as *resting* while its chain is still sliding would
+// freeze its local state and diverge from the full scan within a round or
+// two, so per-round fingerprint equality WHILE changed==true pins it. The
+// closure must also demonstrably engage mid-slide (peers fast-forwarded --
+// skipped or emit-only boundary -- during rounds in which the global state
+// still changed), so the test cannot pass vacuously by never skipping.
+TEST(Scheduler, TranslatingChainsLockstepFullTailAndNeverMisclassified) {
+  for (const unsigned threads : {1U, 8U}) {
+    for (std::uint64_t seed : {171ULL, 172ULL}) {
+      Engine translate(random_net(130, seed, /*scrambled=*/false),
+                       {.threads = threads});
+      Engine evict(random_net(130, seed, /*scrambled=*/false),
+                   {.threads = 1, .translate_chains = false});
+      Engine full(random_net(130, seed, /*scrambled=*/false),
+                  {.threads = 1, .full_scan = true});
+      util::Rng churn_rng(seed * 149);
+      std::uint64_t mid_slide_skipped = 0, mid_slide_boundary = 0;
+      int quiet = 0;
+      for (int r = 0; r < 20000 && quiet < 3; ++r) {
+        if (r > 0 && r % 25 == 0)
+          churn_all({&translate, &evict, &full}, churn_rng);
+        if (r == 40) {  // mid-tail fault window; identical default fault
+          translate.set_message_loss(0.1);  // seeds + identical op multisets
+          evict.set_message_loss(0.1);      // give identical drop coins
+          full.set_message_loss(0.1);
+        }
+        if (r == 48) {
+          translate.set_message_loss(0.0);
+          evict.set_message_loss(0.0);
+          full.set_message_loss(0.0);
+        }
+        const auto mt = translate.step();
+        const auto me = evict.step();
+        const auto mf = full.step();
+        ASSERT_EQ(mt.changed, mf.changed)
+            << "threads=" << threads << " seed=" << seed << " round " << r;
+        ASSERT_EQ(me.changed, mf.changed)
+            << "threads=" << threads << " seed=" << seed << " round " << r;
+        const auto fp = full.network().state_fingerprint();
+        ASSERT_EQ(translate.network().state_fingerprint(), fp)
+            << "threads=" << threads << " seed=" << seed << " round " << r;
+        ASSERT_EQ(evict.network().state_fingerprint(), fp)
+            << "threads=" << threads << " seed=" << seed << " round " << r;
+        if (mt.changed) {
+          mid_slide_skipped += mt.skipped_peers;
+          mid_slide_boundary += mt.boundary_peers;
+        }
+        quiet = mt.changed ? 0 : quiet + 1;
+      }
+      ASSERT_EQ(quiet, 3) << "threads=" << threads << " seed=" << seed
+                          << ": tail did not reach the fixpoint";
+      EXPECT_GT(mid_slide_skipped, 0U)
+          << "threads=" << threads << " seed=" << seed;
+      EXPECT_GT(mid_slide_boundary, 0U)
+          << "threads=" << threads << " seed=" << seed;
+    }
+  }
+}
+
+// Wake-set soundness of the closure's replay paths, checked directly: with
+// paranoid_replay every quiescence candidate is run live and diffed against
+// its cache through randomized churn/fault tails (paranoid disables the
+// outright-skip fast path by design -- see skip_possible -- so every
+// candidate funnels through the cross-check).
+TEST(Scheduler, TranslatingChainsParanoidReplayFindsNoMismatch) {
+  std::uint64_t checked_replays = 0;
+  for (std::uint64_t seed : {181ULL, 182ULL}) {
+    Engine engine(random_net(90, seed, /*scrambled=*/false),
+                  {.paranoid_replay = true});
+    util::Rng churn_rng(seed * 151);
+    for (int r = 0; r < 120; ++r) {
+      if (r > 0 && r % 20 == 0) churn_all({&engine}, churn_rng);
+      if (r == 60) engine.set_message_loss(0.1);
+      if (r == 70) engine.set_message_loss(0.0);
+      checked_replays += engine.step().replayed_peers;
+      ASSERT_EQ(engine.replay_check_failures(), 0U)
+          << "seed=" << seed << " round=" << r;
+    }
+  }
+  EXPECT_GT(checked_replays, 1000U);
+}
+
+// Satellite regression: when a fault window closes, the resting skip must
+// re-arm on its own -- skip_possible reads the live option values, so the
+// first post-window round may already skip. Concretely: a network that
+// recovered from churn WHILE a loss+sleep window was open must, once the
+// window closes and the state re-stabilizes, produce fixpoint rounds that
+// cost exactly what a never-faulted engine's fixpoint rounds cost: zero
+// live, zero replayed, every peer skipped, fingerprint frozen.
+TEST(Scheduler, FaultWindowClosureReArmsRestingSkip) {
+  Engine faulted(random_net(80, 53, /*scrambled=*/false), {});
+  Engine control(random_net(80, 53, /*scrambled=*/false), {});
+  const auto spec0 = StableSpec::compute(faulted.network());
+  RunOptions opt;
+  opt.max_rounds = 20000;
+  ASSERT_TRUE(run_to_stable(faulted, spec0, opt).stabilized);
+  ASSERT_TRUE(run_to_stable(control, spec0, opt).stabilized);
+  // Identical perturbation for both; only `faulted` recovers under an open
+  // loss+sleep window (during which skipping is disabled wholesale).
+  util::Rng rng(19);
+  for (int burst = 0; burst < 2; ++burst) churn_both(faulted, control, rng);
+  faulted.set_message_loss(0.15);
+  faulted.set_sleep_probability(0.2);
+  for (int r = 0; r < 25; ++r) faulted.step();
+  faulted.set_message_loss(0.0);
+  faulted.set_sleep_probability(0.0);
+  // Both must converge to the same membership-determined fixpoint.
+  const auto spec = StableSpec::compute(faulted.network());
+  ASSERT_TRUE(run_to_stable(faulted, spec, opt).stabilized);
+  ASSERT_TRUE(run_to_stable(control, spec, opt).stabilized);
+  ASSERT_TRUE(spec.exact_match(faulted.network()));
+  ASSERT_EQ(faulted.network().state_fingerprint(),
+            control.network().state_fingerprint());
+  faulted.step();  // one settling round each (see FixpointRoundsSkipEveryPeer)
+  control.step();
+  const std::size_t peers = faulted.network().alive_owner_count();
+  const std::uint64_t frozen = faulted.network().state_fingerprint();
+  for (int r = 0; r < 5; ++r) {
+    const auto mt = faulted.step();
+    const auto mc = control.step();
+    EXPECT_FALSE(mt.changed) << "round " << r;
+    EXPECT_EQ(mt.active_peers, 0U) << "round " << r;
+    EXPECT_EQ(mt.replayed_peers, 0U) << "round " << r;
+    EXPECT_EQ(mt.skipped_peers, peers) << "round " << r;
+    EXPECT_EQ(mt.active_peers, mc.active_peers) << "round " << r;
+    EXPECT_EQ(mt.replayed_peers, mc.replayed_peers) << "round " << r;
+    EXPECT_EQ(mt.skipped_peers, mc.skipped_peers) << "round " << r;
+    EXPECT_EQ(faulted.network().state_fingerprint(), frozen) << "round " << r;
+  }
+}
+
 // -- multi-datacenter latency model (DESIGN.md §8) ---------------------------
 
 // Mixed delay classes: datacenter by owner parity, asymmetric cross-dc
