@@ -9,6 +9,13 @@
 //                                              common small size; override
 //                                              with --n)
 //
+// Observability (DESIGN.md §11) -- all bit-identical-off:
+//   --profile                 phase timing table after the run
+//   --profile-csv <path>      same data as CSV
+//   --trace-out <path>        structured event log, one JSON object per line
+//   --trace-chrome <path>     Chrome trace-event JSON (load in Perfetto)
+//   --metrics                 end-of-run metrics-registry summary
+//
 // Exit code 0 iff every convergence checkpoint of every executed scenario
 // passed -- CI runs two scenarios through this binary and relies on it.
 
@@ -18,7 +25,10 @@
 
 #include "sim/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/metrics_registry.hpp"
+#include "util/profiler.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -91,8 +101,78 @@ void print_outcome(const sim::ScenarioOutcome& out) {
               static_cast<unsigned long long>(out.final_fingerprint));
 }
 
+/// Observability flags, parsed once. Enabling any of them never changes a
+/// single outcome bit -- asserted registry-wide in tests/test_observability.
+struct ObsConfig {
+  bool profile = false;
+  std::string profile_csv;
+  std::string trace_jsonl;
+  std::string trace_chrome;
+  bool metrics = false;
+
+  static ObsConfig from_cli(const util::Cli& cli) {
+    ObsConfig cfg;
+    cfg.profile = cli.get_flag("profile");
+    cfg.profile_csv = cli.get("profile-csv", "");
+    cfg.trace_jsonl = cli.get("trace-out", "");
+    cfg.trace_chrome = cli.get("trace-chrome", "");
+    cfg.metrics = cli.get_flag("metrics");
+    return cfg;
+  }
+
+  void arm() const {
+    if (profile || !profile_csv.empty())
+      util::Profiler::instance().set_enabled(true);
+    if (!trace_jsonl.empty() || !trace_chrome.empty())
+      util::Tracer::instance().set_enabled(true);
+  }
+
+  /// Emits the per-run artifacts and resets the collectors so --all runs
+  /// do not bleed into each other. Returns false on an unwritable path.
+  bool emit(const sim::ScenarioOutcome& out) const {
+    bool ok = true;
+    if (metrics) {
+      std::printf("metrics (end-of-run registry snapshot):\n");
+      util::MetricsRegistry::print_snapshot(out.metrics, std::cout);
+    }
+    if (profile) util::Profiler::instance().print_table(std::cout);
+    if (!profile_csv.empty()) {
+      std::ofstream f(profile_csv);
+      if (f)
+        util::Profiler::instance().write_csv(f);
+      else
+        ok = false;
+      std::printf("(profile csv written to %s)\n", profile_csv.c_str());
+    }
+    const util::Tracer& tr = util::Tracer::instance();
+    if (!trace_jsonl.empty()) {
+      std::ofstream f(trace_jsonl);
+      if (f)
+        tr.write_jsonl(f);
+      else
+        ok = false;
+      std::printf("(trace: %llu events recorded, %llu retained -> %s)\n",
+                  static_cast<unsigned long long>(tr.recorded()),
+                  static_cast<unsigned long long>(tr.size()),
+                  trace_jsonl.c_str());
+    }
+    if (!trace_chrome.empty()) {
+      std::ofstream f(trace_chrome);
+      if (f)
+        tr.write_chrome(f);
+      else
+        ok = false;
+      std::printf("(chrome trace written to %s -- load at ui.perfetto.dev)\n",
+                  trace_chrome.c_str());
+    }
+    util::Profiler::instance().reset();
+    util::Tracer::instance().clear();
+    return ok;
+  }
+};
+
 int run_one(const sim::ScenarioInfo& info, const sim::ScenarioParams& params,
-            const std::string& csv_path) {
+            const std::string& csv_path, const ObsConfig& obs) {
   std::ofstream csv_file;
   std::ostream* csv = nullptr;
   if (!csv_path.empty()) {
@@ -107,6 +187,8 @@ int run_one(const sim::ScenarioInfo& info, const sim::ScenarioParams& params,
   const auto out = sim::run_scenario(sc, params, csv);
   print_outcome(out);
   if (csv) std::printf("(csv series written to %s)\n", csv_path.c_str());
+  if (!obs.emit(out))
+    std::fprintf(stderr, "warning: could not write an observability file\n");
   return out.ok ? 0 : 1;
 }
 
@@ -125,10 +207,14 @@ int main(int argc, char** argv) {
     std::printf("\nrun one:   %s --scenario <name> [--n N] [--seed S] "
                 "[--ops K] [--intensity X]\n"
                 "           [--threads T] [--full-scan] [--csv series.csv]\n"
+                "           [--profile] [--trace-out t.jsonl] [--metrics]\n"
                 "run all:   %s --all\n",
                 cli.program().c_str(), cli.program().c_str());
     return 0;
   }
+
+  const ObsConfig obs = ObsConfig::from_cli(cli);
+  obs.arm();
 
   auto params = sim::scenario_params_from_cli(cli);
   if (cli.get_flag("all")) {
@@ -138,7 +224,7 @@ int main(int argc, char** argv) {
     if (params.n == 0) params.n = 48;
     int failures = 0;
     for (const auto& info : registry)
-      failures += run_one(info, params, "") != 0;
+      failures += run_one(info, params, "", obs) != 0;
     std::printf("%d/%zu scenarios passed\n",
                 static_cast<int>(registry.size()) - failures, registry.size());
     return failures == 0 ? 0 : 1;
@@ -151,5 +237,5 @@ int main(int argc, char** argv) {
                  name.c_str());
     return 2;
   }
-  return run_one(*info, params, cli.csv_path());
+  return run_one(*info, params, cli.csv_path(), obs);
 }

@@ -6,10 +6,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/spec.hpp"
@@ -17,6 +20,7 @@
 #include "sim/trial.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/profiler.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -64,6 +68,88 @@ inline void emit_csv(const std::string& path,
   }
   std::printf("(csv written to %s)\n", path.c_str());
 }
+
+// -- machine-readable bench output (--json) ----------------------------------
+
+/// Renders one JSON value for a BenchJson param or metric cell.
+inline std::string jnum(std::uint64_t v) { return std::to_string(v); }
+inline std::string jnum(double v) {
+  char b[40];
+  std::snprintf(b, sizeof b, "%.17g", v);
+  return b;
+}
+inline std::string jstr(std::string_view s) {
+  return '"' + std::string(s) + '"';  // bench names/modes never need escaping
+}
+
+/// JSON-lines emitter for perf tracking: one object per measured value with
+/// the schema {"bench": name, "params": {...}, "metric": m, "value": v}.
+/// Doubles round-trip (%.17g); 64-bit fingerprints should go through the
+/// string overload so JSON readers that parse numbers as doubles keep every
+/// bit. A default-constructed / empty-path instance is a no-op.
+class BenchJson {
+ public:
+  /// Param cells: key plus an already-rendered JSON value (jnum / jstr).
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchJson(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    out_.open(path_);
+    if (!out_)
+      std::fprintf(stderr, "error: cannot write %s\n", path_.c_str());
+  }
+  [[nodiscard]] bool enabled() const { return out_.is_open(); }
+
+  void record(std::string_view bench, const Params& params,
+              std::string_view metric, double value) {
+    emit(bench, params, metric, jnum(value));
+  }
+  void record(std::string_view bench, const Params& params,
+              std::string_view metric, std::uint64_t value) {
+    emit(bench, params, metric, jnum(value));
+  }
+  /// String-valued metric (e.g. a %016llx fingerprint) -- emitted quoted.
+  void record(std::string_view bench, const Params& params,
+              std::string_view metric, const std::string& value) {
+    emit(bench, params, metric, jstr(value));
+  }
+
+  /// Prints the "(json written to ...)" status line if anything was emitted.
+  void note() const {
+    if (enabled()) std::printf("(json written to %s)\n", path_.c_str());
+  }
+
+ private:
+  void emit(std::string_view bench, const Params& params,
+            std::string_view metric, const std::string& value) {
+    if (!out_) return;
+    out_ << "{\"bench\":\"" << bench << "\",\"params\":{";
+    bool first = true;
+    for (const auto& [k, v] : params) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << '"' << k << "\":" << v;
+    }
+    out_ << "},\"metric\":\"" << metric << "\",\"value\":" << value << "}\n";
+  }
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// --profile for the benches: arms the phase profiler for the process
+/// lifetime and prints the phase table when main returns.
+struct ProfileGuard {
+  bool on = false;
+  explicit ProfileGuard(const util::Cli& cli) : on(cli.get_flag("profile")) {
+    if (on) util::Profiler::instance().set_enabled(true);
+  }
+  ~ProfileGuard() {
+    if (on) util::Profiler::instance().print_table(std::cout);
+  }
+  ProfileGuard(const ProfileGuard&) = delete;
+  ProfileGuard& operator=(const ProfileGuard&) = delete;
+};
 
 /// Monotonic wall-clock stopwatch for the round-cost benches.
 class WallTimer {

@@ -23,7 +23,12 @@
 //                              [--hot-frac 0.8] [--hot-keys 32]
 //                              [--rounds 60] [--warmup 30] [--threads 8]
 //                              [--p99-rounds 48] [--seed S] [--no-verify]
-//                              [--csv out.csv]
+//                              [--csv out.csv] [--json out.json] [--profile]
+//
+// --json OUT writes every cell's measurements as JSON lines
+// ({"bench","params","metric","value"} -- see bench::BenchJson) for perf
+// tracking; --profile prints the phase-timing table (DESIGN.md §11),
+// including the request engine's shard-advance and merge phases, at exit.
 //
 // --rate 0 (default) scales arrivals with the overlay: max(200, n/50)
 // requests per round, which holds tens of thousands of requests in flight
@@ -165,6 +170,8 @@ CellResult run_cell(const core::Network& base, std::size_t n,
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const bench::ProfileGuard prof(cli);
+  bench::BenchJson json(cli.get("json", ""));
   auto cfg = bench::BenchConfig::from_cli(cli);
   if (!cli.has("sizes")) cfg.sizes = {20000, 100000};
   if (!cli.has("threads")) cfg.threads = 8;
@@ -226,6 +233,29 @@ int main(int argc, char** argv) {
            std::to_string(r.lat_max), util::fixed(r.rps, 0),
            util::fixed(r.window_ms / static_cast<double>(rounds), 2),
            util::fixed(walk_rps > 0.0 ? r.rps / walk_rps : 0.0, 2) + "x"});
+
+      char fp[24];
+      std::snprintf(fp, sizeof fp, "%016" PRIx64, r.fingerprint);
+      const bench::BenchJson::Params jp{
+          {"n", bench::jnum(static_cast<std::uint64_t>(n))},
+          {"mode", bench::jstr(modes[c].name)},
+          {"threads", bench::jnum(static_cast<std::uint64_t>(modes[c].threads))},
+          {"rate", bench::jnum(traffic.rate)}};
+      json.record("request_throughput", jp, "req_per_sec", r.rps);
+      json.record("request_throughput", jp, "issued_window", r.issued_window);
+      json.record("request_throughput", jp, "completed_window",
+                  r.completed_window);
+      json.record("request_throughput", jp, "end_inflight", r.end_inflight);
+      json.record("request_throughput", jp, "steady",
+                  static_cast<std::uint64_t>(r.steady ? 1 : 0));
+      json.record("request_throughput", jp, "ms_per_round",
+                  r.window_ms / static_cast<double>(rounds));
+      json.record("request_throughput", jp, "lat_p50_rounds", r.lat_p50);
+      json.record("request_throughput", jp, "lat_p99_rounds", r.lat_p99);
+      json.record("request_throughput", jp, "lat_max_rounds", r.lat_max);
+      json.record("request_throughput", jp, "speedup_vs_walk",
+                  walk_rps > 0.0 ? r.rps / walk_rps : 0.0);
+      json.record("request_throughput", jp, "fingerprint", std::string(fp));
     }
     // The modes above share one arrival schedule, so their post-drain
     // fingerprints must be bit-identical (batch advance is a pure
@@ -256,6 +286,9 @@ int main(int argc, char** argv) {
                   "{active,full-scan} x {1,%u} threads (%016" PRIx64 ")\n",
                   n, vok ? "bit-identical" : "DIVERGED", cfg.threads, ref);
       all_ok = all_ok && vok;
+      json.record("request_throughput",
+                  {{"n", bench::jnum(static_cast<std::uint64_t>(n))}},
+                  "determinism_ok", static_cast<std::uint64_t>(vok ? 1 : 0));
     }
   }
   table.print(std::cout);
@@ -264,6 +297,7 @@ int main(int argc, char** argv) {
     table.write_csv(out);
     std::printf("(csv written to %s)\n", cfg.csv_path.c_str());
   }
+  json.note();
   if (!all_ok) {
     std::printf(
         "FAIL: unsteady queue, latency SLO breach or fingerprint divergence "

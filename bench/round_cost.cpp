@@ -22,6 +22,12 @@
 //                      [--assert-speedup X]   (exit 1 if active-set is not
 //                                              at least X times faster than
 //                                              the full scan at every size)
+//                      [--json out.json] [--profile]
+//
+// --json OUT writes every measured value as one JSON object per line
+// ({"bench","params","metric","value"} -- see bench::BenchJson) for perf
+// tracking; --profile prints the engine phase-timing table (DESIGN.md §11)
+// at exit.
 //
 // --tail-sizes above --tail-baseline-max run the translation closure only
 // (the eviction-cascade baseline is O(n^2) total work there -- the point of
@@ -167,6 +173,8 @@ void write_table_csv(const util::Table& table, const std::string& path) {
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  const bench::ProfileGuard prof(cli);
+  bench::BenchJson json(cli.get("json", ""));
   bench::banner(
       "round_cost: steady-state ns/round, active-set vs full scan vs legacy",
       "quiescence-driven scheduler (ISSUE 2) on top of ISSUE 1's overhaul");
@@ -225,6 +233,15 @@ int main(int argc, char** argv) {
          std::to_string(static_cast<std::int64_t>(mf.ns_per_round)),
          std::to_string(static_cast<std::int64_t>(ml.ns_per_round)),
          fmt(su_full), fmt(su_legacy), fmt(mib, 6)});
+
+    const bench::BenchJson::Params jp{
+        {"n", bench::jnum(static_cast<std::uint64_t>(n))}};
+    json.record("round_cost", jp, "active_ns_per_round", ma.ns_per_round);
+    json.record("round_cost", jp, "full_ns_per_round", mf.ns_per_round);
+    json.record("round_cost", jp, "legacy_ns_per_round", ml.ns_per_round);
+    json.record("round_cost", jp, "speedup_vs_full", su_full);
+    json.record("round_cost", jp, "speedup_vs_legacy", su_legacy);
+    json.record("round_cost", jp, "edge_set_mib", mib);
   }
   table.print(std::cout);
   write_table_csv(table, cli.csv_path());
@@ -261,6 +278,19 @@ int main(int argc, char** argv) {
              fmt(mf.ns_per_round / ma.ns_per_round),
              std::to_string(static_cast<std::int64_t>(ma.mean_active)),
              std::to_string(static_cast<std::int64_t>(ma.mean_replayed))});
+
+        const bench::BenchJson::Params jp{
+            {"n", bench::jnum(static_cast<std::uint64_t>(n))},
+            {"k", bench::jnum(static_cast<std::uint64_t>(k))}};
+        json.record("round_cost.churn", jp, "active_ns_per_round",
+                    ma.ns_per_round);
+        json.record("round_cost.churn", jp, "full_ns_per_round",
+                    mf.ns_per_round);
+        json.record("round_cost.churn", jp, "speedup",
+                    mf.ns_per_round / ma.ns_per_round);
+        json.record("round_cost.churn", jp, "mean_woken", ma.mean_active);
+        json.record("round_cost.churn", jp, "mean_replayed",
+                    ma.mean_replayed);
       }
     }
     churn_table.print(std::cout);
@@ -305,6 +335,12 @@ int main(int argc, char** argv) {
             {std::to_string(n), "evict", std::to_string(ev.rounds),
              std::to_string(ev.live), std::to_string(ev.replayed),
              std::to_string(ev_work), "1.00", fmt(ev.wall_ms, 8)});
+        const bench::BenchJson::Params jp{
+            {"n", bench::jnum(static_cast<std::uint64_t>(n))},
+            {"closure", bench::jstr("evict")}};
+        json.record("round_cost.tail", jp, "rounds", ev.rounds);
+        json.record("round_cost.tail", jp, "work", ev_work);
+        json.record("round_cost.tail", jp, "wall_ms", ev.wall_ms);
       }
       tail_table.add_row(
           {std::to_string(n), "translate", std::to_string(tr.rounds),
@@ -315,6 +351,16 @@ int main(int argc, char** argv) {
                      static_cast<double>(tr_work))
                : "-",
            fmt(tr.wall_ms, 8)});
+      const bench::BenchJson::Params jp{
+          {"n", bench::jnum(static_cast<std::uint64_t>(n))},
+          {"closure", bench::jstr("translate")}};
+      json.record("round_cost.tail", jp, "rounds", tr.rounds);
+      json.record("round_cost.tail", jp, "work", tr_work);
+      json.record("round_cost.tail", jp, "wall_ms", tr.wall_ms);
+      if (run_baseline && tr_work > 0)
+        json.record("round_cost.tail", jp, "work_ratio",
+                    static_cast<double>(ev_work) /
+                        static_cast<double>(tr_work));
     }
     tail_table.print(std::cout);
     if (!tail_ok)
@@ -322,6 +368,7 @@ int main(int argc, char** argv) {
                   "closures disagreed on the convergence round\n");
   }
 
+  json.note();
   if (assert_speedup > 0.0) {
     std::printf("\nassert-speedup %.2f: %s\n", assert_speedup,
                 assert_ok ? "ok" : "FAILED");

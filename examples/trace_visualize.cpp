@@ -1,86 +1,99 @@
-// Convergence visualization: exports the overlay as Graphviz DOT after
-// selected rounds so the healing process can be rendered frame by frame
-// (real nodes filled, virtual nodes plain; unmarked/ring/connection edges in
-// black/red/blue).
+// Trace visualization (DESIGN.md §11): runs one WAN scenario with the
+// structured tracer armed and exports the event log twice -- as a Chrome
+// trace-event JSON you can load at https://ui.perfetto.dev (every request
+// renders as an async span from issue to completion with its hops, bounces
+// and failovers nested inside; scheduler and fault events land on the
+// engine track) and as JSONL for ad hoc analysis (jq, python). Timestamps
+// are ROUND NUMBERS, not wall-clock: the trace is bit-identical across
+// thread counts and scheduler modes by the §11 determinism contract.
 //
-//   ./trace_visualize [--n 8] [--seed 4] [--every 2] [--out /tmp/rechord]
-//   for f in /tmp/rechord-round*.dot; do dot -Tpng "$f" -o "${f%.dot}.png"; done
+//   ./example_trace_visualize [--scenario lookups-across-wan-partition-heal]
+//                             [--n 48] [--seed 1] [--threads T] [--full-scan]
+//                             [--out /tmp/rechord-trace]
+//
+// writes <out>.chrome.json and <out>.jsonl, then prints a per-event census
+// so you can see what the timeline contains before opening the UI.
 
 #include <cstdio>
 #include <fstream>
 #include <string>
 
-#include "core/convergence.hpp"
-#include "gen/topologies.hpp"
-#include "graph/dot.hpp"
+#include "sim/scenario.hpp"
 #include "util/cli.hpp"
-
-namespace {
-
-using namespace rechord;
-
-void dump_dot(const core::Network& net, const std::string& path,
-              std::uint64_t round) {
-  const auto slots = net.live_slots();
-  std::vector<std::uint32_t> vertex_of(net.slot_count(), UINT32_MAX);
-  for (std::uint32_t v = 0; v < slots.size(); ++v) vertex_of[slots[v]] = v;
-
-  graph::Digraph g(slots.size());
-  graph::DotStyle style;
-  style.graph_name = "rechord_round_" + std::to_string(round);
-  for (core::Slot s : slots) {
-    style.vertex_labels.push_back(ident::pos_to_string(net.pos(s)));
-    style.vertex_colors.push_back(core::is_real_slot(s) ? "lightblue" : "");
-  }
-  const char* kind_color[] = {"black", "red", "blue"};
-  for (std::uint32_t v = 0; v < slots.size(); ++v) {
-    for (int k = 0; k < core::kEdgeKinds; ++k) {
-      for (core::Slot t : net.edges(slots[v], static_cast<core::EdgeKind>(k))) {
-        if (!net.alive(t)) continue;
-        g.add_edge(v, vertex_of[t]);
-        style.edge_colors.emplace_back(kind_color[k]);
-      }
-    }
-  }
-  std::ofstream out(path);
-  graph::write_dot(out, g, style);
-}
-
-}  // namespace
+#include "util/trace.hpp"
 
 int main(int argc, char** argv) {
+  using namespace rechord;
   const util::Cli cli(argc, argv);
-  const auto n = static_cast<std::size_t>(cli.get_int("n", 8));
-  const auto every = static_cast<std::uint64_t>(cli.get_int("every", 2));
-  const std::string prefix = cli.get("out", "/tmp/rechord");
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 4)));
+  const std::string name =
+      cli.get("scenario", "lookups-across-wan-partition-heal");
+  const std::string prefix = cli.get("out", "/tmp/rechord-trace");
+  sim::ScenarioParams params;
+  params.n = 48;
+  params = sim::scenario_params_from_cli(cli, params);
 
-  core::Engine engine(gen::make_network(gen::Topology::kLine, n, rng), {});
-  const auto spec = core::StableSpec::compute(engine.network());
-
-  std::uint64_t round = 0;
-  dump_dot(engine.network(), prefix + "-round000.dot", 0);
-  std::printf("round %3llu: dumped %s-round000.dot\n",
-              static_cast<unsigned long long>(round), prefix.c_str());
-  for (; round < 100000; ) {
-    const auto mt = engine.step();
-    ++round;
-    if (round % every == 0 || !mt.changed) {
-      char name[512];
-      std::snprintf(name, sizeof(name), "%s-round%03llu.dot", prefix.c_str(),
-                    static_cast<unsigned long long>(round));
-      dump_dot(engine.network(), name, round);
-      std::printf("round %3llu: %zu nodes, %zu/%zu/%zu edges (u/r/c) -> %s%s\n",
-                  static_cast<unsigned long long>(round), mt.total_nodes(),
-                  mt.unmarked_edges, mt.ring_edges, mt.connection_edges, name,
-                  mt.changed ? "" : "  [STABLE]");
-    }
-    if (!mt.changed) break;
+  const sim::ScenarioInfo* info = sim::find_scenario(name);
+  if (!info) {
+    std::fprintf(stderr, "error: unknown scenario '%s'\n", name.c_str());
+    return 2;
   }
-  std::printf("\nstable = %s; render frames with:\n"
-              "  for f in %s-round*.dot; do dot -Tpng \"$f\" -o "
-              "\"${f%%.dot}.png\"; done\n",
-              spec.exact_match(engine.network()) ? "exact spec" : "NOT spec",
-              prefix.c_str());
-  return 0;
+
+  util::Tracer& tracer = util::Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  const auto out = sim::run_scenario(info->build(params), params);
+  tracer.set_enabled(false);
+
+  std::printf("scenario %s: n=%zu, %llu rounds, %s; %llu trace events "
+              "recorded (%llu retained)\n\n",
+              out.name.c_str(), out.n,
+              static_cast<unsigned long long>(out.total_rounds),
+              out.ok ? "all checkpoints passed" : "CHECKPOINT FAILED",
+              static_cast<unsigned long long>(tracer.recorded()),
+              static_cast<unsigned long long>(tracer.size()));
+
+  // Per-kind census of the retained ring.
+  std::uint64_t counts[static_cast<std::size_t>(util::TraceKind::kCount)] = {};
+  tracer.for_each([&counts](const util::TraceEvent& e) {
+    ++counts[static_cast<std::size_t>(e.kind)];
+  });
+  std::printf("%-18s %8s\n", "event", "count");
+  for (std::size_t k = 0; k < static_cast<std::size_t>(util::TraceKind::kCount);
+       ++k)
+    if (counts[k] > 0)
+      std::printf("%-18s %8llu\n",
+                  util::trace_kind_name(static_cast<util::TraceKind>(k)),
+                  static_cast<unsigned long long>(counts[k]));
+
+  const std::string chrome_path = prefix + ".chrome.json";
+  const std::string jsonl_path = prefix + ".jsonl";
+  {
+    std::ofstream f(chrome_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", chrome_path.c_str());
+      return 2;
+    }
+    tracer.write_chrome(f);
+  }
+  {
+    std::ofstream f(jsonl_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", jsonl_path.c_str());
+      return 2;
+    }
+    tracer.write_jsonl(f);
+  }
+  tracer.clear();
+
+  std::printf("\nwrote %s (Chrome trace-event JSON)\n", chrome_path.c_str());
+  std::printf("wrote %s (one JSON object per line)\n", jsonl_path.c_str());
+  std::printf("\nvisualize: open https://ui.perfetto.dev and drag in "
+              "%s\n"
+              "  - pid 1 'requests': one async span per request uid "
+              "(issue -> hops -> complete)\n"
+              "  - pid 0 'engine':   per-round scheduler instants, storm "
+              "transitions, fault windows\n"
+              "analyze:   jq 'select(.event==\"req-bounce\")' < %s\n",
+              chrome_path.c_str(), jsonl_path.c_str());
+  return out.ok ? 0 : 1;
 }

@@ -5,8 +5,10 @@
 
 #include "core/churn.hpp"
 #include "util/cli.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 #include "util/sorted_vec.hpp"
+#include "util/trace.hpp"
 
 namespace rechord::core {
 
@@ -267,6 +269,13 @@ void Engine::compute_skip_set() {
   // entries only over-wake / over-evict. Deferring lets the mass
   // re-recording round skip incremental registration entirely.
   if (was_bulk && !bulk_round_) mass_reg_pending_ = true;
+  if (bulk_round_ != was_bulk) {
+    util::Tracer& tr = util::Tracer::instance();
+    if (tr.enabled())
+      tr.note({round_, 0, woken, live, 0, 0,
+               bulk_round_ ? util::TraceKind::kStormEnter
+                           : util::TraceKind::kStormExit});
+  }
   if (!skip_possible()) return;
   for (std::uint32_t o = 0; o < n; ++o)
     skip_[o] = net_.owner_alive(o) && cache_[o].valid && !wake_[o] ? 1 : 0;
@@ -665,7 +674,6 @@ void Engine::run_peers() {
   }
   if (serial) {
     run_range(0, owners_.size(), ops_, 0);
-    apply_deferred_evictions();
     return;
   }
   // NOTE(parallel-safety): a peer mutates only its own slots' sets (live or
@@ -688,7 +696,6 @@ void Engine::run_peers() {
   });
   for (unsigned t = 0; t < shards; ++t)
     ops_.insert(ops_.end(), shard_ops_[t].begin(), shard_ops_[t].end());
-  apply_deferred_evictions();
 }
 
 void Engine::apply_deferred_evictions() {
@@ -711,7 +718,11 @@ void Engine::apply_deferred_evictions() {
   // commute. Runs single-threaded -- the set is the handful of references
   // the frontier actually dropped this round, not a sharded workload.
   RuleActivity discard;  // already counted from the cache in the skip branch
+  util::Tracer& tr = util::Tracer::instance();
+  const bool tracing = tr.enabled();
   for (const std::uint32_t d : phase_b_) {
+    if (tracing)
+      tr.note({round_, d, 0, 0, 0, 0, util::TraceKind::kDeferredEvict});
     std::size_t base = ops_.size();
     replay_peer(d, cache_[d], ops_, discard);
     ++deferred_replays_;
@@ -727,6 +738,8 @@ void Engine::apply_deferred_evictions() {
       if (!skip_[u] || boundary_[u]) continue;
       boundary_[u] = 1;
       ++deferred_boundary_;
+      if (tracing)
+        tr.note({round_, u, d, 0, 0, 0, util::TraceKind::kBoundaryInject});
       const PeerCache& uc = cache_[u];
       base = ops_.size();
       ops_.insert(ops_.end(), uc.ops.begin(), uc.ops.end());
@@ -789,6 +802,10 @@ void Engine::route_inflight() {
 }
 
 RoundMetrics Engine::step() {
+  // Observability is bit-identical-off: every span below only reads clocks
+  // into profiler buffers, and every trace event derives from deterministic
+  // round state (see DESIGN.md §11).
+  util::ScopedPhase step_span(util::Phase::kStepTotal);
   const bool active = active_mode();
   // Routing only matters while a message CAN be delayed or one still is; a
   // flattened (trivial) model with a drained queue reverts to the plain
@@ -814,8 +831,14 @@ RoundMetrics Engine::step() {
   }
   if (active) {
     ensure_scheduler_arrays();
-    wake_out_of_band();
-    compute_skip_set();
+    {
+      util::ScopedPhase span(util::Phase::kWakeScan);
+      wake_out_of_band();
+    }
+    {
+      util::ScopedPhase span(util::Phase::kSkipSet);
+      compute_skip_set();
+    }
   }
 
   ops_.clear();
@@ -826,8 +849,18 @@ RoundMetrics Engine::step() {
     rl_next_.resize(net_.slot_count(), kInvalidSlot);
     rr_next_.resize(net_.slot_count(), kInvalidSlot);
   }
-  run_peers();
-  if (latency_round_) route_inflight();
+  {
+    util::ScopedPhase span(util::Phase::kRulePhase);
+    run_peers();
+  }
+  {
+    util::ScopedPhase span(util::Phase::kDeferredEvict);
+    apply_deferred_evictions();
+  }
+  if (latency_round_) {
+    util::ScopedPhase span(util::Phase::kRouteInflight);
+    route_inflight();
+  }
   activity_ = RuleActivity{};
   for (const auto& act : shard_activity_) activity_ += act;
   std::size_t active_peers = 0, replayed_peers = 0, skipped_peers = 0,
@@ -844,6 +877,7 @@ RoundMetrics Engine::step() {
   boundary_peers += deferred_boundary_;
   for (std::uint64_t v : shard_mismatch_) replay_mismatches_ += v;
   if (active && !mass_reg_pending_) {
+    util::ScopedPhase span(util::Phase::kIndexRegister);
     // Reader and op-sender entries for this round's live runs, derived
     // single-threaded from the recorded deltas and cached ops. Ops are
     // registered here, at cache time, rather than per delivery at commit:
@@ -892,6 +926,8 @@ RoundMetrics Engine::step() {
   //     group by (target, kind) and bulk-merge each group in one pass.
   //   * legacy_fixpoint: the pre-overhaul pipeline (sort + dedup + one
   //     binary-searched insert per op), kept for the bench comparison.
+  {
+  util::ScopedPhase commit_span(util::Phase::kCommit);
   auto resolve = [this](Slot s) -> Slot {
     if (net_.alive(s)) return s;
     const std::uint32_t owner = owner_of(s);
@@ -957,6 +993,9 @@ RoundMetrics Engine::step() {
       net_.add_edges_bulk(target, kind, payload_buf_);
     }
   }
+  }
+  {
+  util::ScopedPhase publish_span(util::Phase::kPublishNormalize);
   // Publish this round's rl/rr for the owners that ran, live slots and dead
   // tails alike (rule 3 results reference real slots only; normalize()
   // clears any that refer to dead slots). A peer that was skipped or slept
@@ -971,18 +1010,23 @@ RoundMetrics Engine::step() {
       }
     }
   net_.normalize();
+  }
   // Deferred mass registration: one exact rebuild over the post-commit edge
   // sets plus the surviving caches' ops replaces the per-entry registration
   // of an (almost) all-live round. Must run before apply_wakes() below reads
   // the reader index. Kept pending through storm rounds (which record no
   // caches) until the first round that does record.
   if (active && mass_reg_pending_ && !bulk_round_) {
+    util::ScopedPhase span(util::Phase::kIndexRebuild);
     rebuild_flow_indices();
     mass_reg_pending_ = false;
   }
   ++round_;
 
-  RoundMetrics mt = measure();
+  RoundMetrics mt;
+  {
+  util::ScopedPhase fixpoint_span(util::Phase::kFixpoint);
+  mt = measure();
   mt.round = round_;
   mt.active_peers = active_peers;
   mt.replayed_peers = replayed_peers;
@@ -1022,6 +1066,14 @@ RoundMetrics Engine::step() {
   // (the queued deliveries land in later rounds). Applies identically to
   // all three detector paths, so the verdict stays mode-independent.
   if (inflight_count_ > 0) mt.changed = true;
+  }
+  {
+    util::Tracer& tr = util::Tracer::instance();
+    if (tr.enabled())
+      tr.note({round_, 0, mt.active_peers, mt.replayed_peers,
+               mt.skipped_peers, mt.boundary_peers,
+               util::TraceKind::kRound});
+  }
   if (observer_) observer_(mt);
   return mt;
 }

@@ -6,6 +6,7 @@
 #include "dht/kv_store.hpp"
 #include "ident/hashing.hpp"
 #include "ident/ring_pos.hpp"
+#include "util/profiler.hpp"
 #include "util/rng.hpp"
 
 namespace rechord::net {
@@ -130,6 +131,15 @@ std::uint64_t RequestEngine::submit(RequestKind kind, RingPos key,
   ++outstanding_;
   ++totals_.issued;
   park(origin, slot);
+  {
+    // Serial context (submissions happen between rounds), so the event
+    // goes straight to the global tracer.
+    util::Tracer& tr = util::Tracer::instance();
+    if (tr.enabled())
+      tr.note({engine_.rounds_executed(), id,
+               static_cast<std::uint64_t>(kind), key, origin, 0,
+               util::TraceKind::kReqIssue});
+  }
   return id;
 }
 
@@ -224,6 +234,10 @@ void RequestEngine::launch_hop(Shard& sh, std::uint32_t slot,
   }
   slots_.hop_to[slot] = next;
   sh.launches.push_back({slot, next, extra});
+  if (tracing_)
+    sh.trace.push_back({round_, slots_.uid[slot], slots_.custody[slot], next,
+                        extra, slots_.attempt[slot],
+                        util::TraceKind::kReqLaunch});
 }
 
 void RequestEngine::bounce(Shard& sh, std::uint32_t slot, Obstruction obs) {
@@ -231,6 +245,10 @@ void RequestEngine::bounce(Shard& sh, std::uint32_t slot, Obstruction obs) {
   slots_.obstruction[slot] = obs;
   slots_.avoid[slot] = slots_.hop_to[slot];
   slots_.hop_to[slot] = kNoOwner;
+  if (tracing_)
+    sh.trace.push_back({round_, slots_.uid[slot], slots_.custody[slot],
+                        slots_.avoid[slot], static_cast<std::uint64_t>(obs),
+                        0, util::TraceKind::kReqBounce});
   switch (obs) {
     case kObsLoss: ++sh.tally.loss_bounces; break;
     case kObsPartition: ++sh.tally.partition_bounces; break;
@@ -249,6 +267,10 @@ void RequestEngine::bounce(Shard& sh, std::uint32_t slot, Obstruction obs) {
 void RequestEngine::custody_failover(Shard& sh, std::uint32_t slot) {
   ++sh.tally.custody_failovers;
   ++slots_.retries[slot];
+  if (tracing_)
+    sh.trace.push_back({round_, slots_.uid[slot], slots_.custody[slot],
+                        slots_.origin[slot], 0, 0,
+                        util::TraceKind::kReqFailover});
   if (!engine_.network().owner_alive(slots_.origin[slot])) {
     sh.completions.push_back({slot, RequestStatus::kFailedTimeout});
     return;
@@ -283,6 +305,9 @@ void RequestEngine::deliver(Shard& sh, std::uint32_t slot) {
   slots_.avoid[slot] = kNoOwner;
   slots_.obstruction[slot] = kObsNone;
   ++slots_.hops[slot];
+  if (tracing_)
+    sh.trace.push_back({round_, slots_.uid[slot], to, slots_.hops[slot], 0,
+                        0, util::TraceKind::kReqDeliver});
   // The new custody owner keys this shard's due queue, so the request parks
   // locally and takes its next routing step THIS round (same cadence as the
   // serial engine: deliver, then advance).
@@ -294,6 +319,7 @@ void RequestEngine::route_at_owner(Shard& sh, const NbrRow& row,
   if (row.empty()) {
     ++slots_.retries[slot];
     slots_.obstruction[slot] = kObsStale;
+    note_stuck(sh, slot);
     sh.next_parked.emplace_back(slots_.custody[slot], slot);
     return;
   }
@@ -410,6 +436,7 @@ void RequestEngine::route_at_owner(Shard& sh, const NbrRow& row,
   }
   ++slots_.retries[slot];  // stuck: no progress anywhere; retry next round
   slots_.obstruction[slot] = kObsStale;
+  note_stuck(sh, slot);
   sh.next_parked.emplace_back(slots_.custody[slot], slot);
 }
 
@@ -441,6 +468,7 @@ void RequestEngine::route_walk(Shard& sh, std::uint32_t slot,
   if (nbrs.empty()) {
     ++slots_.retries[slot];
     slots_.obstruction[slot] = kObsStale;
+    note_stuck(sh, slot);
     sh.next_parked.emplace_back(slots_.custody[slot], slot);
     return;
   }
@@ -501,6 +529,7 @@ void RequestEngine::route_walk(Shard& sh, std::uint32_t slot,
   }
   ++slots_.retries[slot];
   slots_.obstruction[slot] = kObsStale;
+  note_stuck(sh, slot);
   sh.next_parked.emplace_back(slots_.custody[slot], slot);
 }
 
@@ -584,22 +613,27 @@ void RequestEngine::process_shard(Shard& sh) {
 void RequestEngine::on_round() {
   round_ = engine_.rounds_executed();
   if (outstanding_ == 0) return;
+  tracing_ = util::Tracer::instance().enabled();
   const unsigned shard_count = static_cast<unsigned>(shards_.size());
   unsigned ways = opt_.per_request_walk
                       ? 1u
                       : std::min(engine_.options().threads, shard_count);
-  if (ways <= 1) {
-    for (Shard& sh : shards_) process_shard(sh);
-  } else {
-    // Stride the logical shards over the engine's workers: worker t takes
-    // shards t, t+ways, ... Shard assignment keys on data (custody owner),
-    // never on the thread, so the thread count cannot reorder anything.
-    core::WorkerPool& pool = engine_.shared_worker_pool(ways);
-    pool.run(ways, [this, ways, shard_count](unsigned t) {
-      for (unsigned s = t; s < shard_count; s += ways)
-        process_shard(shards_[s]);
-    });
+  {
+    util::ScopedPhase span(util::Phase::kReqShardAdvance);
+    if (ways <= 1) {
+      for (Shard& sh : shards_) process_shard(sh);
+    } else {
+      // Stride the logical shards over the engine's workers: worker t takes
+      // shards t, t+ways, ... Shard assignment keys on data (custody owner),
+      // never on the thread, so the thread count cannot reorder anything.
+      core::WorkerPool& pool = engine_.shared_worker_pool(ways);
+      pool.run(ways, [this, ways, shard_count](unsigned t) {
+        for (unsigned s = t; s < shard_count; s += ways)
+          process_shard(shards_[s]);
+      });
+    }
   }
+  util::ScopedPhase span(util::Phase::kReqMerge);
   merge_round();
 }
 
@@ -610,6 +644,11 @@ void RequestEngine::merge_round() {
   // their new custody shard. Deterministic for a fixed shard count
   // regardless of how many threads ran the phase.
   for (Shard& sh : shards_) {
+    // Drain this shard's trace buffer FIRST: its hop events precede its
+    // completion events, and shard-major order keeps the stream identical
+    // across thread counts.
+    if (tracing_ && !sh.trace.empty())
+      util::Tracer::instance().note_all(sh.trace);
     for (const Completion& c : sh.completions) finish(c.slot, c.status);
     totals_.loss_bounces += sh.tally.loss_bounces;
     totals_.partition_bounces += sh.tally.partition_bounces;
@@ -723,6 +762,11 @@ void RequestEngine::finish(std::uint32_t slot, RequestStatus status) {
   d ^= util::mix64((static_cast<std::uint64_t>(result) << 32) |
                    (found ? 1u : 0u));
   totals_.fingerprint = util::mix64(totals_.fingerprint ^ d);
+  if (tracing_)
+    util::Tracer::instance().note({round_, id,
+                                   static_cast<std::uint64_t>(status), result,
+                                   slots_.hops[slot], rif,
+                                   util::TraceKind::kReqComplete});
   completions_.push_back({id, kind, status, slots_.issue_round[slot], round_,
                           slots_.origin[slot], result, slots_.hops[slot],
                           slots_.retries[slot], found, std::move(kv_key)});

@@ -94,6 +94,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "util/trace.hpp"
 
 namespace rechord::dht {
 class KvStore;
@@ -382,6 +383,11 @@ class RequestEngine {
     std::vector<Repark> reparks;
     std::vector<Completion> completions;
     ShardTally tally;
+    /// Hop-level trace events recorded during the parallel phase; the
+    /// serial merge drains them into the global Tracer in shard-major
+    /// order, so the trace stream is thread-count invariant (DESIGN.md
+    /// §11). Empty (and untouched) while tracing is disabled.
+    std::vector<util::TraceEvent> trace;
     // Scratch reused across rounds.
     std::vector<std::uint64_t> group_keys;  // (owner << 32 | parked index)
     std::vector<std::pair<std::uint32_t, std::uint32_t>> next_parked;
@@ -453,6 +459,13 @@ class RequestEngine {
   void route_walk(Shard& sh, std::uint32_t slot, std::uint32_t owner,
                   RingPos cur);
   void launch_hop(Shard& sh, std::uint32_t slot, std::uint32_t next);
+  /// Trace hook: the request found no usable next hop this round (stale
+  /// routing row) and waits parked. No-op unless tracing is on.
+  void note_stuck(Shard& sh, std::uint32_t slot) {
+    if (tracing_)
+      sh.trace.push_back({round_, slots_.uid[slot], slots_.custody[slot], 0,
+                          0, 0, util::TraceKind::kReqStuck});
+  }
   /// Scans the owner's live slots' unmarked/ring edges into `out`,
   /// position-sorted.
   void build_row(NbrRow& out, std::uint32_t owner) const;
@@ -475,6 +488,9 @@ class RequestEngine {
   RequestOptions opt_;
   dht::KvStore* kv_ = nullptr;
   std::uint64_t round_ = 0;  // engine round the current on_round reacts to
+  /// Tracer enablement, latched once per round before the parallel phase
+  /// (workers read it concurrently; written only from serial code).
+  bool tracing_ = false;
 
   SlotArrays slots_;
   std::vector<KvPayload> payloads_;

@@ -14,6 +14,7 @@
 #include "ident/ring_pos.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/trace.hpp"
 
 namespace rechord::sim {
 
@@ -97,24 +98,63 @@ class ScenarioRunner {
                 : 0;
         dc_lag_max = std::max(dc_lag_max, dc_streak_[d]);
       }
+      // One instrument surface (DESIGN.md §11): the per-round values
+      // publish into the named metrics registry, and the CSV row below
+      // reads the registry back -- the CSV series, the end-of-run summary
+      // and outcome.metrics can never drift apart.
+      metrics_.counter_set("engine.rounds", mt.round);
+      metrics_.gauge_set("net.real_nodes",
+                         static_cast<double>(mt.real_nodes));
+      metrics_.gauge_set("net.virtual_nodes",
+                         static_cast<double>(mt.virtual_nodes));
+      metrics_.gauge_set("net.unmarked_edges",
+                         static_cast<double>(mt.unmarked_edges));
+      metrics_.gauge_set("net.ring_edges",
+                         static_cast<double>(mt.ring_edges));
+      metrics_.gauge_set("net.connection_edges",
+                         static_cast<double>(mt.connection_edges));
+      metrics_.gauge_set("sched.active",
+                         static_cast<double>(mt.active_peers));
+      metrics_.gauge_set("sched.replayed",
+                         static_cast<double>(mt.replayed_peers));
+      metrics_.gauge_set("sched.skipped",
+                         static_cast<double>(mt.skipped_peers));
+      metrics_.gauge_set("round.changed", mt.changed ? 1.0 : 0.0);
+      metrics_.gauge_set("net.inflight",
+                         static_cast<double>(mt.inflight_messages));
+      metrics_.gauge_set("req.inflight",
+                         static_cast<double>(req_.inflight()));
+      metrics_.counter_set("req.resolved", req_.totals().resolved);
+      metrics_.counter_set("req.failed", req_.totals().failed());
+      metrics_.counter_set("req.mono_violations",
+                           req_.totals().mono_violations);
+      metrics_.gauge_set("dc.lag_max", static_cast<double>(dc_lag_max));
+      metrics_.counter_add("sched.live_peer_rounds", mt.active_peers);
+      metrics_.counter_add("sched.replayed_peer_rounds", mt.replayed_peers);
+      metrics_.counter_add("sched.skipped_peer_rounds", mt.skipped_peers);
+      metrics_.observe("sched.active_per_round",
+                       static_cast<double>(mt.active_peers));
       if (!csv_) return;
       csv_->row();
       csv_->cell("round").cell(current_event_).cell(mt.round);
-      csv_->cell(static_cast<std::uint64_t>(mt.real_nodes));
-      csv_->cell(static_cast<std::uint64_t>(mt.virtual_nodes));
-      csv_->cell(static_cast<std::uint64_t>(mt.unmarked_edges));
-      csv_->cell(static_cast<std::uint64_t>(mt.ring_edges));
-      csv_->cell(static_cast<std::uint64_t>(mt.connection_edges));
-      csv_->cell(static_cast<std::uint64_t>(mt.active_peers));
-      csv_->cell(static_cast<std::uint64_t>(mt.replayed_peers));
-      csv_->cell(static_cast<std::uint64_t>(mt.skipped_peers));
-      csv_->cell(std::int64_t{mt.changed ? 1 : 0});
-      csv_->cell(static_cast<std::uint64_t>(mt.inflight_messages));
-      csv_->cell(static_cast<std::uint64_t>(req_.inflight()));
-      csv_->cell(req_.totals().resolved);
-      csv_->cell(req_.totals().failed());
-      csv_->cell(req_.totals().mono_violations);
-      csv_->cell(dc_lag_max);
+      const auto mcell = [this](std::string_view name) {
+        csv_->cell(static_cast<std::uint64_t>(metrics_.value(name)));
+      };
+      mcell("net.real_nodes");
+      mcell("net.virtual_nodes");
+      mcell("net.unmarked_edges");
+      mcell("net.ring_edges");
+      mcell("net.connection_edges");
+      mcell("sched.active");
+      mcell("sched.replayed");
+      mcell("sched.skipped");
+      mcell("round.changed");
+      mcell("net.inflight");
+      mcell("req.inflight");
+      mcell("req.resolved");
+      mcell("req.failed");
+      mcell("req.mono_violations");
+      mcell("dc.lag_max");
       for (int i = 0; i < 6; ++i) csv_->cell("");
     });
   }
@@ -132,6 +172,19 @@ class ScenarioRunner {
     out_.final_metrics = last_metrics_;
     out_.messages_dropped = engine_.messages_dropped();
     out_.partition_dropped = engine_.partition_dropped();
+    // Whole-run totals that only exist at the end join the registry here,
+    // so the end-of-run summary is one snapshot.
+    metrics_.counter_set("req.issued", out_.requests.issued);
+    metrics_.counter_set("engine.messages_dropped", out_.messages_dropped);
+    metrics_.counter_set("engine.partition_dropped", out_.partition_dropped);
+    metrics_.counter_set("workload.puts", out_.workload.puts);
+    metrics_.counter_set("workload.put_failures", out_.workload.put_failures);
+    metrics_.counter_set("workload.lookups", out_.workload.lookups);
+    metrics_.counter_set("workload.lookups_found",
+                         out_.workload.lookups_found);
+    metrics_.counter_set("workload.stale_misses", out_.workload.stale_misses);
+    metrics_.counter_set("workload.lost_misses", out_.workload.lost_misses);
+    out_.metrics = metrics_.snapshot();
     engine_.set_round_observer(nullptr);
     return std::move(out_);
   }
@@ -157,6 +210,15 @@ class ScenarioRunner {
   void note_event(std::string text) {
     if (!pending_events_.empty()) pending_events_ += ", ";
     pending_events_ += std::move(text);
+  }
+
+  /// Fault/partition-window trace events are applied between rounds by the
+  /// timeline driver -- serial context, straight to the global tracer.
+  void trace_window(util::TraceKind kind, std::uint64_t a = 0,
+                    std::uint64_t b = 0) {
+    util::Tracer& tr = util::Tracer::instance();
+    if (tr.enabled())
+      tr.note({engine_.rounds_executed(), 0, a, b, 0, 0, kind});
   }
 
   // One membership op drawn uniformly from {join, leave, crash}; retries
@@ -275,33 +337,46 @@ class ScenarioRunner {
                       (o * 0x9E3779B97F4A7C15ULL)) %
           dcs);
     engine_.assign_datacenters(std::move(dc));
+    trace_window(util::TraceKind::kAssignDcs, dcs);
     note_event("dcs=" + std::to_string(dcs));
   }
 
   void apply(const SetLatencyModel& e) {
     engine_.set_latency_model(core::LatencyModel(
         e.dcs, e.classes, /*jitter_seed=*/seed_ ^ 0x1A7E9C11ULL));
+    trace_window(util::TraceKind::kSetLatency, e.dcs);
     note_event(engine_.latency_model().trivial() ? "latency-off"
                                                  : "latency-on");
   }
 
   void apply(const SetMessageLoss& e) {
     engine_.set_message_loss(e.probability);
+    trace_window(util::TraceKind::kSetLoss,
+                 static_cast<std::uint64_t>(e.probability * 1e6 + 0.5));
   }
 
-  void apply(const SetSleep& e) { engine_.set_sleep_probability(e.probability); }
+  void apply(const SetSleep& e) {
+    engine_.set_sleep_probability(e.probability);
+    trace_window(util::TraceKind::kSetSleep,
+                 static_cast<std::uint64_t>(e.probability * 1e6 + 0.5));
+  }
 
   void apply(const PartitionBegin& e) {
     std::vector<std::uint8_t> group(engine_.network().owner_count(), 0);
+    std::uint64_t side1 = 0, side0 = 0;
     for (std::uint32_t o = 0; o < group.size(); ++o)
-      if (engine_.network().owner_alive(o))
+      if (engine_.network().owner_alive(o)) {
         group[o] = rng_.chance(e.fraction) ? 1 : 0;
+        ++(group[o] ? side1 : side0);
+      }
     engine_.set_partition(std::move(group));
+    trace_window(util::TraceKind::kPartitionBegin, side0, side1);
     note_event("partition");
   }
 
   void apply(const PartitionEnd&) {
     engine_.clear_partition();
+    trace_window(util::TraceKind::kPartitionEnd);
     note_event("heal");
   }
 
@@ -510,6 +585,7 @@ class ScenarioRunner {
   std::string pending_events_;
   const char* current_event_ = "";
   core::RoundMetrics last_metrics_;
+  util::MetricsRegistry metrics_;
   ScenarioOutcome out_;
 };
 

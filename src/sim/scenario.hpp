@@ -20,6 +20,7 @@
 #include "gen/topologies.hpp"
 #include "net/request_engine.hpp"
 #include "sim/events.hpp"
+#include "util/metrics_registry.hpp"
 
 namespace rechord::util {
 class Cli;
@@ -119,6 +120,9 @@ struct ScenarioOutcome {
   std::uint64_t live_peer_rounds = 0;
   std::uint64_t replayed_peer_rounds = 0;
   std::uint64_t skipped_peer_rounds = 0;
+  /// End-of-run snapshot of the runner's metrics registry (DESIGN.md §11):
+  /// the same named values the per-round CSV columns are read from.
+  util::MetricsSnapshot metrics;
 };
 
 /// Executes `scenario` under `params`. When `csv` is non-null, writes the

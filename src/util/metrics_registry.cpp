@@ -1,0 +1,128 @@
+#include "util/metrics_registry.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/stats.hpp"
+
+namespace rechord::util {
+
+namespace {
+template <typename Map>
+auto find_or_create(Map& metrics, std::string_view name, MetricKind kind) ->
+    typename Map::mapped_type& {
+  auto it = metrics.find(name);
+  if (it == metrics.end())
+    it = metrics.emplace(std::string(name), typename Map::mapped_type{kind})
+             .first;
+  return it->second;
+}
+}  // namespace
+
+void MetricsRegistry::counter_set(std::string_view name, std::uint64_t v) {
+  find_or_create(metrics_, name, MetricKind::kCounter).counter = v;
+}
+
+void MetricsRegistry::counter_add(std::string_view name,
+                                  std::uint64_t delta) {
+  find_or_create(metrics_, name, MetricKind::kCounter).counter += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double v) {
+  find_or_create(metrics_, name, MetricKind::kGauge).gauge = v;
+}
+
+void MetricsRegistry::observe(std::string_view name, double sample) {
+  Metric& m = find_or_create(metrics_, name, MetricKind::kHistogram);
+  if (m.samples.size() < kHistCap) {
+    m.samples.push_back(sample);
+  } else {
+    m.samples[m.next] = sample;
+    if (++m.next == kHistCap) m.next = 0;
+  }
+}
+
+double MetricsRegistry::value(std::string_view name) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0.0;
+  switch (it->second.kind) {
+    case MetricKind::kCounter:
+      return static_cast<double>(it->second.counter);
+    case MetricKind::kGauge:
+      return it->second.gauge;
+    default:
+      return 0.0;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const auto& [name, m] : metrics_) {
+    MetricValue v;
+    v.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        v.value = static_cast<double>(m.counter);
+        break;
+      case MetricKind::kGauge:
+        v.value = m.gauge;
+        break;
+      case MetricKind::kHistogram: {
+        const Summary s = summarize(m.samples);
+        v.value = static_cast<double>(s.count);
+        v.mean = s.mean;
+        v.p50 = s.p50;
+        v.p99 = s.p99;
+        v.max = s.max;
+        break;
+      }
+    }
+    out.emplace(name, v);
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::diff(const MetricsSnapshot& before,
+                                      const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : after) {
+    MetricValue d = v;
+    if (v.kind == MetricKind::kCounter) {
+      const auto it = before.find(name);
+      if (it != before.end()) d.value = v.value - it->second.value;
+    }
+    out.emplace(name, d);
+  }
+  return out;
+}
+
+void MetricsRegistry::clear() { metrics_.clear(); }
+
+void MetricsRegistry::print_snapshot(const MetricsSnapshot& snap,
+                                     std::ostream& os) {
+  std::size_t width = 0;
+  for (const auto& [name, v] : snap) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap) {
+    os << "  " << std::left << std::setw(static_cast<int>(width) + 2) << name
+       << std::right;
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        os << static_cast<std::uint64_t>(v.value) << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << v.value << "\n";
+        break;
+      case MetricKind::kHistogram:
+        os << "count=" << static_cast<std::uint64_t>(v.value)
+           << " mean=" << v.mean << " p50=" << v.p50 << " p99=" << v.p99
+           << " max=" << v.max << "\n";
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::print_summary(std::ostream& os) const {
+  print_snapshot(snapshot(), os);
+}
+
+}  // namespace rechord::util

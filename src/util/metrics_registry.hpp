@@ -1,0 +1,74 @@
+#pragma once
+// Named metrics registry (DESIGN.md §11): one instrument surface behind
+// which the previously ad hoc counter families (core::RoundMetrics fields,
+// the request engine's RequestTotals, the scenario CSV columns) are
+// published. Three instrument kinds:
+//   counter   -- monotonically meaningful unsigned total (set or add)
+//   gauge     -- last-write-wins level (doubles)
+//   histogram -- bounded sample set summarized as count/mean/p50/p99/max
+// A Snapshot is an ordered name -> value map; diff() subtracts counters
+// between two snapshots and keeps the later value for everything else, so
+// "what changed across this phase" is one call. Deterministic: iteration
+// is name-ordered and no wall-clock enters any value.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rechord::util {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricValue {
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram: sample count
+  // Histogram summary (zeros for counters/gauges).
+  double mean = 0.0, p50 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+using MetricsSnapshot = std::map<std::string, MetricValue>;
+
+class MetricsRegistry {
+ public:
+  void counter_set(std::string_view name, std::uint64_t v);
+  void counter_add(std::string_view name, std::uint64_t delta);
+  void gauge_set(std::string_view name, double v);
+  /// Histogram sample; each series keeps at most `kHistCap` newest samples
+  /// (ring) while count/summary reflect what is retained.
+  void observe(std::string_view name, double sample);
+
+  /// Current value of a counter or gauge; 0 for unknown/histogram names.
+  [[nodiscard]] double value(std::string_view name) const;
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Counters: after - before (missing-in-before counts as 0). Gauges and
+  /// histograms: the `after` entry verbatim. Names only in `before` drop.
+  [[nodiscard]] static MetricsSnapshot diff(const MetricsSnapshot& before,
+                                            const MetricsSnapshot& after);
+
+  void clear();
+
+  /// End-of-run summary: one aligned "name value" line per metric.
+  void print_summary(std::ostream& os) const;
+  static void print_snapshot(const MetricsSnapshot& snap, std::ostream& os);
+
+  static constexpr std::size_t kHistCap = 1 << 14;
+
+ private:
+  struct Metric {
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    std::vector<double> samples;
+    std::size_t next = 0;
+  };
+  // std::map: name-ordered iteration keeps snapshots and printed summaries
+  // deterministic across platforms and insertion orders.
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace rechord::util

@@ -1,0 +1,146 @@
+#include "util/trace.hpp"
+
+#include <array>
+#include <ostream>
+
+namespace rechord::util {
+
+namespace {
+
+// Render metadata per kind: event name, label for the id field (nullptr
+// when the kind carries no id), and the names of the used a..d args. This
+// table IS the JSONL schema; tests/test_observability.cpp pins it.
+struct KindSpec {
+  const char* name;
+  const char* id_label;  // nullptr -> id unused
+  int argc;
+  std::array<const char*, 4> args;
+};
+
+constexpr std::array<KindSpec, static_cast<std::size_t>(TraceKind::kCount)>
+    kSpecs{{
+        {"round", nullptr, 4, {"active", "replayed", "skipped", "boundary"}},
+        {"storm-enter", nullptr, 2, {"woken", "live", nullptr, nullptr}},
+        {"storm-exit", nullptr, 2, {"woken", "live", nullptr, nullptr}},
+        {"deferred-evict", "owner", 0,
+         {nullptr, nullptr, nullptr, nullptr}},
+        {"boundary-inject", "owner", 1,
+         {"frontier", nullptr, nullptr, nullptr}},
+        {"set-loss", nullptr, 1, {"p_ppm", nullptr, nullptr, nullptr}},
+        {"set-sleep", nullptr, 1, {"p_ppm", nullptr, nullptr, nullptr}},
+        {"partition-begin", nullptr, 2, {"side0", "side1", nullptr, nullptr}},
+        {"partition-end", nullptr, 0, {nullptr, nullptr, nullptr, nullptr}},
+        {"set-latency", nullptr, 1, {"dcs", nullptr, nullptr, nullptr}},
+        {"assign-dcs", nullptr, 1, {"dcs", nullptr, nullptr, nullptr}},
+        {"req-issue", "req", 3, {"kind", "key", "origin", nullptr}},
+        {"req-launch", "req", 4, {"from", "to", "delay", "attempt"}},
+        {"req-deliver", "req", 2, {"custody", "hops", nullptr, nullptr}},
+        {"req-bounce", "req", 3, {"at", "blocked", "cause", nullptr}},
+        {"req-failover", "req", 2, {"from", "to", nullptr, nullptr}},
+        {"req-stuck", "req", 1, {"at", nullptr, nullptr, nullptr}},
+        {"req-complete", "req", 4, {"status", "result", "hops", "rounds"}},
+    }};
+
+const KindSpec& spec_of(TraceKind k) noexcept {
+  return kSpecs[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t arg_value(const TraceEvent& e, int i) noexcept {
+  switch (i) {
+    case 0: return e.a;
+    case 1: return e.b;
+    case 2: return e.c;
+    default: return e.d;
+  }
+}
+
+bool is_request_kind(TraceKind k) noexcept {
+  return k >= TraceKind::kReqIssue && k <= TraceKind::kReqComplete;
+}
+
+}  // namespace
+
+const char* trace_kind_name(TraceKind k) noexcept { return spec_of(k).name; }
+
+Tracer& Tracer::instance() noexcept {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  cap_ = cap ? cap : 1;
+  clear();
+}
+
+void Tracer::note(const TraceEvent& e) {
+  ++recorded_;
+  if (buf_.size() < cap_) {
+    buf_.push_back(e);
+    next_ = buf_.size() == cap_ ? 0 : buf_.size();
+    return;
+  }
+  buf_[next_] = e;
+  wrapped_ = true;
+  ++overwritten_;
+  if (++next_ == cap_) next_ = 0;
+}
+
+void Tracer::note_all(std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) note(e);
+  events.clear();
+}
+
+std::size_t Tracer::size() const noexcept { return buf_.size(); }
+
+void Tracer::clear() {
+  buf_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  overwritten_ = 0;
+  recorded_ = 0;
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  for_each([&os](const TraceEvent& e) {
+    const KindSpec& sp = spec_of(e.kind);
+    os << "{\"round\":" << e.round << ",\"event\":\"" << sp.name << '"';
+    if (sp.id_label) os << ",\"" << sp.id_label << "\":" << e.id;
+    for (int i = 0; i < sp.argc; ++i)
+      os << ",\"" << sp.args[i] << "\":" << arg_value(e, i);
+    os << "}\n";
+  });
+}
+
+void Tracer::write_chrome(std::ostream& os) const {
+  os << "[\n"
+     << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+     << R"("args":{"name":"engine"}},)" << '\n'
+     << R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+     << R"("args":{"name":"requests"}})";
+  for_each([&os](const TraceEvent& e) {
+    const KindSpec& sp = spec_of(e.kind);
+    os << ",\n{";
+    if (is_request_kind(e.kind)) {
+      // One async span per request uid: issue opens it, complete closes
+      // it, every hop event lands inside as a nestable instant.
+      const char* ph = e.kind == TraceKind::kReqIssue    ? "b"
+                       : e.kind == TraceKind::kReqComplete ? "e"
+                                                           : "n";
+      os << "\"name\":\"" << (*ph == 'n' ? sp.name : "request")
+         << "\",\"cat\":\"req\",\"ph\":\"" << ph << "\",\"id\":\"" << e.id
+         << "\",\"pid\":1,\"tid\":0,\"ts\":" << e.round;
+    } else {
+      os << "\"name\":\"" << sp.name
+         << "\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":0,\"ts\":"
+         << e.round;
+    }
+    os << ",\"args\":{\"round\":" << e.round;
+    if (sp.id_label) os << ",\"" << sp.id_label << "\":" << e.id;
+    for (int i = 0; i < sp.argc; ++i)
+      os << ",\"" << sp.args[i] << "\":" << arg_value(e, i);
+    os << "}}";
+  });
+  os << "\n]\n";
+}
+
+}  // namespace rechord::util

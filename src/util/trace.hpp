@@ -1,0 +1,114 @@
+#pragma once
+// Ring-buffered structured event log (DESIGN.md §11). The tracer records
+// compact, fully deterministic events -- request hop traces, scheduler
+// regime transitions, fault/partition windows -- and renders them as JSONL
+// or as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Determinism contract: an event's CONTENT may derive only from
+// deterministic simulation state (round numbers, request uids, owners,
+// hash-drawn delays, counters). Wall-clock time never enters an event; the
+// Chrome export uses the round number as its timestamp axis. Parallel
+// sections must never call Tracer::note() directly -- they append to a
+// per-shard buffer that the serial merge drains in shard-major order, so
+// the global event sequence is identical across thread counts. Recording
+// appends to a bounded ring (oldest events overwritten, overwrites
+// counted) and reads no simulation state, so enabling tracing cannot
+// perturb any outcome.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace rechord::util {
+
+enum class TraceKind : std::uint8_t {
+  // Scheduler / engine events (one serial writer: the round pipeline).
+  kRound,          // a=active b=replayed c=skipped d=boundary
+  kStormEnter,     // a=woken b=live
+  kStormExit,      // a=woken b=live
+  kDeferredEvict,  // id=owner (a live frontier's fresh output dropped it)
+  kBoundaryInject, // id=owner a=frontier owner (emit-only injection)
+  // Fault / partition windows (applied between rounds by the driver).
+  kSetLoss,        // a=probability in parts-per-million
+  kSetSleep,       // a=probability in parts-per-million
+  kPartitionBegin, // a=side-0 owners b=side-1 owners
+  kPartitionEnd,
+  kSetLatency,     // a=datacenter count
+  kAssignDcs,      // a=datacenter count
+  // Request lifecycle (id = request uid throughout).
+  kReqIssue,    // a=kind b=key c=origin owner
+  kReqLaunch,   // a=from(custody) b=to c=delay d=attempt
+  kReqDeliver,  // a=custody(new owner) b=hops
+  kReqBounce,   // a=at(custody) b=blocked next hop c=cause (Obstruction)
+  kReqFailover, // a=dead custody b=new custody (origin)
+  kReqStuck,    // a=at(custody) -- stale routing row, waits a round
+  kReqComplete, // a=status b=result owner c=hops d=rounds in flight
+  kCount,
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind k) noexcept;
+
+struct TraceEvent {
+  std::uint64_t round = 0;
+  std::uint64_t id = 0;  // request uid or owner; 0 when unused
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  TraceKind kind = TraceKind::kRound;
+};
+
+/// Process-wide trace sink. Disabled by default; when disabled every hook
+/// site reduces to one relaxed atomic load and a predictable branch.
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& instance() noexcept;
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity in events (default 1<<20). Resets the buffer.
+  void set_capacity(std::size_t cap);
+
+  /// Append one event (serial contexts only -- see the header comment).
+  void note(const TraceEvent& e);
+  /// Drain a per-shard buffer (serial merge): append all, then clear it.
+  void note_all(std::vector<TraceEvent>& events);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::uint64_t overwritten() const noexcept {
+    return overwritten_;
+  }
+  /// Events recorded since the last clear (size() + overwritten()).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  void clear();
+
+  /// One flat JSON object per line: {"round":..,"event":"..",...}.
+  void write_jsonl(std::ostream& os) const;
+  /// Chrome trace-event JSON array (Perfetto / chrome://tracing). Requests
+  /// become async "b"/"n"/"e" spans keyed by uid; everything else becomes
+  /// global instants. Timestamps are round numbers (deterministic).
+  void write_chrome(std::ostream& os) const;
+
+  /// Oldest-to-newest visit of the retained ring.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (wrapped_)
+      for (std::size_t i = next_; i < buf_.size(); ++i) fn(buf_[i]);
+    for (std::size_t i = 0; i < next_; ++i) fn(buf_[i]);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::size_t cap_ = std::size_t{1} << 20;
+  std::vector<TraceEvent> buf_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace rechord::util
